@@ -1,0 +1,51 @@
+// Command figures regenerates the paper's evaluation figures as text
+// tables.
+//
+// Usage:
+//
+//	figures            # all figures
+//	figures -only fig15,fig17
+//	figures -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mptwino/internal/figures"
+)
+
+func main() {
+	only := flag.String("only", "", "comma-separated ids (table1-table4, fig01,fig06,fig07,fig12,fig14,fig15,fig16,fig17,fig18, noc)")
+	list := flag.Bool("list", false, "list available figure ids and exit")
+	flag.Parse()
+
+	all := figures.All()
+	if *list {
+		for _, r := range all {
+			fmt.Printf("%-6s %s\n", r.ID, r.Title)
+		}
+		return
+	}
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(id)] = true
+		}
+	}
+	printed := 0
+	for _, r := range all {
+		if len(want) > 0 && !want[r.ID] {
+			continue
+		}
+		fmt.Print(figures.Render(r))
+		printed++
+	}
+	if printed == 0 {
+		fmt.Fprintf(os.Stderr, "figures: no figure matched %q\n", *only)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,132 @@
+// Command mptsim simulates one training iteration of a convolution layer
+// or a whole CNN on the NDP system under a chosen parallelization
+// configuration.
+//
+// Usage:
+//
+//	mptsim -layer Late-2 -config w_mp++            # one Table II layer
+//	mptsim -net fractalnet -config w_mp++          # whole CNN
+//	mptsim -net wrn -config all -workers 64        # every Table IV config
+//	mptsim -layer Mid-1 -k 5 -batch 512            # 5x5 kernels
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mptwino/internal/model"
+	"mptwino/internal/sim"
+)
+
+func main() {
+	layerName := flag.String("layer", "", "Table II layer: Early, Mid-1, Mid-2, Late-1, Late-2")
+	netName := flag.String("net", "", "network: wrn, resnet34, fractalnet")
+	cfgName := flag.String("config", "w_mp++", "Table IV config (d_dp,w_dp,w_mp,w_mp+,w_mp*,w_mp++) or 'all'")
+	workers := flag.Int("workers", 256, "NDP worker count")
+	batch := flag.Int("batch", 256, "total batch size (layer mode only; networks use their catalog batch)")
+	k := flag.Int("k", 3, "kernel size for layer mode: 3 or 5")
+	breakdown := flag.Bool("breakdown", false, "layer mode: show per-resource durations and the binding resource")
+	flag.Parse()
+
+	s := sim.DefaultSystem()
+	s.Workers = *workers
+
+	var cfgs []sim.SystemConfig
+	if *cfgName == "all" {
+		cfgs = sim.AllConfigs()
+	} else {
+		c, err := parseConfig(*cfgName)
+		if err != nil {
+			fail(err)
+		}
+		cfgs = []sim.SystemConfig{c}
+	}
+
+	switch {
+	case *layerName != "":
+		l, err := findLayer(*layerName, *k)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("%-8s %-7s %3s %3s %12s %12s %12s %14s %12s\n",
+			"layer", "config", "Ng", "Nc", "fwd (us)", "bwd (us)", "total (us)", "energy (J)", "net MB/wkr")
+		for _, c := range cfgs {
+			r := s.SimulateLayer(l, *batch, c)
+			fmt.Printf("%-8s %-7s %3d %3d %12.1f %12.1f %12.1f %14.4f %12.2f\n",
+				l.Name, c, r.Ng, r.Nc, r.ForwardSec*1e6, r.BackwardSec*1e6,
+				r.TotalSec()*1e6, r.Energy.Total(), float64(r.NetBytes)/1e6)
+			if *breakdown {
+				printBreakdown("fwd", r.Forward)
+				printBreakdown("bwd", r.Backward)
+			}
+		}
+	case *netName != "":
+		net, err := findNetwork(*netName)
+		if err != nil {
+			fail(err)
+		}
+		base := sim.SingleWorkerBaseline(net)
+		fmt.Printf("%s: batch %d, %d layer entries, %.1fM params, 1-NDP baseline %.1f img/s\n",
+			net.Name, net.Batch, len(net.Layers), float64(net.ParamCount())/1e6, base.ImagesPerSec)
+		fmt.Printf("%-7s %12s %12s %12s %10s %10s\n",
+			"config", "iter (ms)", "img/s", "speedup", "energy (J)", "power (W)")
+		for _, c := range cfgs {
+			r := s.SimulateNetwork(net, c)
+			fmt.Printf("%-7s %12.2f %12.1f %11.1fx %10.1f %10.0f\n",
+				c, r.IterationSec*1e3, r.ImagesPerSec, sim.Speedup(r, base),
+				r.Energy.Total(), r.PowerW)
+		}
+	default:
+		fail(fmt.Errorf("specify -layer or -net (see -h)"))
+	}
+}
+
+func printBreakdown(pass string, b sim.Breakdown) {
+	fmt.Printf("         %s: systolic %.1fus  vector %.1fus  dram %.1fus  tile %.1fus  coll %.1fus  -> bound by %s\n",
+		pass, b.SystolicSec*1e6, b.VectorSec*1e6, b.DRAMSec*1e6,
+		b.TileCommSec*1e6, b.CollSec*1e6, b.Binding())
+}
+
+func parseConfig(name string) (sim.SystemConfig, error) {
+	for _, c := range sim.AllConfigs() {
+		if c.String() == name {
+			return c, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown config %q", name)
+}
+
+func findLayer(name string, k int) (model.Layer, error) {
+	layers := model.FiveLayers()
+	if k == 5 {
+		layers = model.FiveLayers5x5()
+	} else if k != 3 {
+		return model.Layer{}, fmt.Errorf("kernel size %d unsupported (3 or 5)", k)
+	}
+	for _, l := range layers {
+		if strings.EqualFold(l.Name, name) {
+			return l, nil
+		}
+	}
+	return model.Layer{}, fmt.Errorf("unknown layer %q", name)
+}
+
+func findNetwork(name string) (model.Network, error) {
+	switch strings.ToLower(name) {
+	case "wrn", "wrn-40-10":
+		return model.WRN40x10(), nil
+	case "resnet34", "resnet-34":
+		return model.ResNet34(), nil
+	case "fractalnet", "fractal":
+		return model.FractalNet44(), nil
+	default:
+		return model.Network{}, fmt.Errorf("unknown network %q (wrn, resnet34, fractalnet)", name)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "mptsim:", err)
+	os.Exit(2)
+}

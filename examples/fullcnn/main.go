@@ -1,0 +1,53 @@
+// Fullcnn simulates whole-CNN training iterations (WRN-40-10, ResNet-34,
+// FractalNet) on the 256-worker NDP machine and an 8-GPU DGX-1 baseline —
+// the Fig. 17/18 experiments — and shows the per-layer dynamic-clustering
+// decisions MPT makes.
+package main
+
+import (
+	"fmt"
+
+	"mptwino/internal/gpu"
+	"mptwino/internal/model"
+	"mptwino/internal/sim"
+)
+
+func main() {
+	s := sim.DefaultSystem()
+	g := gpu.DGX1()
+
+	for _, net := range model.AllNetworks() {
+		base := sim.SingleWorkerBaseline(net)
+		fmt.Printf("=== %s (batch %d, %.1fM params) ===\n",
+			net.Name, net.Batch, float64(net.ParamCount())/1e6)
+
+		for _, c := range []sim.SystemConfig{sim.WDp, sim.WMp, sim.WMpFull} {
+			r := s.SimulateNetwork(net, c)
+			fmt.Printf("  ndp-256 %-7s %9.1f img/s  (%.0fx vs 1 NDP, %.0f W)\n",
+				c, r.ImagesPerSec, sim.Speedup(r, base), r.PowerW)
+		}
+		for _, ng := range []int{1, 8} {
+			fmt.Printf("  dgx1-%d GPUs     %9.1f img/s\n", ng, g.ImagesPerSec(net, ng, net.Batch))
+		}
+
+		// Dynamic clustering choices per layer (w_mp++): early layers fall
+		// back to data parallelism, late layers use 16 groups.
+		r := s.SimulateNetwork(net, sim.WMpFull)
+		fmt.Println("  dynamic clustering choices:")
+		for _, lr := range r.Layers {
+			fmt.Printf("    %-10s -> (Ng=%2d, Nc=%3d)\n", lr.Name, lr.Ng, lr.Nc)
+		}
+		fmt.Println()
+	}
+
+	// Fig. 18: let the GPU system pick its best batch size, then compare
+	// performance per watt.
+	fmt.Println("=== iso-power comparison (Fig. 18) ===")
+	for _, net := range model.AllNetworks() {
+		batch, gpuIPS := g.BestBatch(net, 8, 4096)
+		ndp := s.SimulateNetwork(net, sim.WMpFull)
+		fmt.Printf("%-15s gpu best-batch %4d: %8.1f img/s @%4.0f W | ndp-256: %8.1f img/s @%4.0f W | perf/W ratio %.1fx\n",
+			net.Name, batch, gpuIPS, g.SystemPowerW(8), ndp.ImagesPerSec, ndp.PowerW,
+			(ndp.ImagesPerSec/ndp.PowerW)/(gpuIPS/g.SystemPowerW(8)))
+	}
+}

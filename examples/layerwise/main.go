@@ -1,0 +1,45 @@
+// Layerwise sweeps the five Table II convolution layers over every Table
+// IV system configuration on the 256-worker NDP machine — the Fig. 15
+// experiment — and prints where MPT wins, where it loses, and what
+// dynamic clustering picks.
+package main
+
+import (
+	"fmt"
+
+	"mptwino/internal/model"
+	"mptwino/internal/sim"
+)
+
+func main() {
+	s := sim.DefaultSystem()
+	fmt.Printf("NDP system: %d workers, %dx%d systolic @%.0f GHz, %.0f GB/s DRAM\n\n",
+		s.Workers, s.NDP.SystolicDim, s.NDP.SystolicDim, s.NDP.ClockHz/1e9, s.NDP.DRAMBw/1e9)
+
+	for _, l := range model.FiveLayers() {
+		ref := s.SimulateLayer(l, 256, sim.WDp)
+		fmt.Printf("%s: %dx%d, %d->%d channels (w_dp total %.0f us)\n",
+			l.Name, l.P.H, l.P.W, l.P.In, l.P.Out, ref.TotalSec()*1e6)
+		for _, c := range sim.AllConfigs() {
+			r := s.SimulateLayer(l, 256, c)
+			marker := ""
+			if r.TotalSec() < ref.TotalSec()*0.999 {
+				marker = "  << faster than w_dp"
+			}
+			fmt.Printf("  %-7s (Ng=%2d,Nc=%3d)  fwd %7.1f us  bwd %7.1f us  energy %7.4f J%s\n",
+				c, r.Ng, r.Nc, r.ForwardSec*1e6, r.BackwardSec*1e6, r.Energy.Total(), marker)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("headline (paper Fig. 15: w_mp+ gains 2.24x on mid / 4.54x on late layers):")
+	for _, pair := range [][2]int{{1, 2}, {3, 4}} {
+		var dp, pred float64
+		for _, i := range pair {
+			l := model.FiveLayers()[i]
+			dp += s.SimulateLayer(l, 256, sim.WDp).TotalSec()
+			pred += s.SimulateLayer(l, 256, sim.WMpPred).TotalSec()
+		}
+		fmt.Printf("  layers %v: w_mp+ speedup %.2fx\n", pair, dp/pred)
+	}
+}

@@ -1,0 +1,68 @@
+// Quickstart: build the paper's Winograd layer, verify it against direct
+// convolution, and train it for a few SGD steps with weights updated
+// directly in the Winograd domain (Fig. 2(b)).
+package main
+
+import (
+	"fmt"
+
+	"mptwino/internal/conv"
+	"mptwino/internal/tensor"
+	"mptwino/internal/winograd"
+)
+
+func main() {
+	// A small 3x3 convolution layer: 8 input channels, 16 output channels,
+	// 16x16 feature maps, batch of 4.
+	p := conv.Params{In: 8, Out: 16, K: 3, Pad: 1, H: 16, W: 16}
+	rng := tensor.NewRNG(42)
+
+	x := tensor.New(4, p.In, p.H, p.W)
+	w := tensor.New(p.Out, p.In, p.K, p.K)
+	rng.FillNormal(x, 0, 1)
+	rng.FillHe(w, p.In*p.K*p.K)
+
+	// 1. Winograd fprop equals direct convolution.
+	tr := winograd.F2x2_3x3
+	direct := conv.Fprop(p, x, w)
+	wino := winograd.Fprop(tr, p, x, w)
+	fmt.Printf("transform %s: tile %dx%d, %d elements per tile\n", tr, tr.T, tr.T, tr.T*tr.T)
+	fmt.Printf("fprop max |direct - winograd| = %.2e\n", direct.MaxAbsDiff(wino))
+
+	// 2. The compute/data trade-off of Fig. 1.
+	red, inc := winograd.Savings(winograd.F4x4_3x3, p, 4)
+	fmt.Printf("F(4x4,3x3): %.2fx fewer multiplications, %.2fx more data accessed\n", red, inc)
+
+	// 3. Train the Winograd layer on a regression target, updating W in
+	// the Winograd domain.
+	layer, err := winograd.NewLayer(tr, p, rng)
+	if err != nil {
+		panic(err)
+	}
+	target := tensor.New(4, p.Out, p.OutH(), p.OutW())
+	rng.FillNormal(target, 0, 1)
+	fmt.Println("training the Winograd layer (L = 0.5||y - target||^2):")
+	for step := 0; step < 8; step++ {
+		y := layer.Fprop(x)
+		dy := y.Clone()
+		dy.AXPY(-1, target)
+		var loss float64
+		for _, v := range dy.Data {
+			loss += 0.5 * float64(v) * float64(v)
+		}
+		dW := layer.UpdateGradW(dy)
+		layer.Step(0.001, dW)
+		fmt.Printf("  step %d: loss %.4f\n", step, loss)
+	}
+
+	// 4. Intra-tile parallelism: each of the 16 tile elements is an
+	// independent matrix multiplication — MPT's unit of distribution.
+	tl := layer.Tiling
+	xd := tl.TransformInput(x)
+	for _, ng := range []int{1, 4, 16} {
+		els := winograd.GroupElements(tr.T, ng, 0)
+		yd := winograd.MulForward(xd, layer.W, els)
+		_ = yd
+		fmt.Printf("with %2d groups, group 0 computes elements %v\n", ng, els)
+	}
+}

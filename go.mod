@@ -1,0 +1,3 @@
+module mptwino
+
+go 1.22

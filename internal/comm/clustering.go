@@ -1,0 +1,135 @@
+package comm
+
+import (
+	"math"
+
+	"mptwino/internal/conv"
+	"mptwino/internal/model"
+	"mptwino/internal/winograd"
+)
+
+// Fabric describes the communication capacity available to one worker,
+// split — as the paper's MPT configuration does — between the ring fabric
+// carrying weight collectives and the flattened-butterfly fabric carrying
+// tile transfer (Section VII-A: half of the four full-width links each).
+type Fabric struct {
+	RingBW float64 // bytes/sec per worker for collectives
+	TileBW float64 // bytes/sec per worker for tile gather/scatter
+}
+
+// DefaultFabric returns the paper's Table III link budget: four
+// bi-directional full-width links (16 lanes × 15 Gbps = 30 GB/s each,
+// 240 GB/s total), split half to the ring and half to the FBFLY.
+func DefaultFabric() Fabric {
+	const full = 30e9 // bytes/sec, one full-width link, one direction
+	return Fabric{RingBW: 2 * full, TileBW: 2 * full}
+}
+
+// EstimateTime converts per-worker volumes into a communication-time
+// estimate on the fabric. The collective is counted twice (reduce then
+// broadcast of the updated weights); tile gather and scatter share the
+// tile fabric.
+func (f Fabric) EstimateTime(v Volumes) float64 {
+	t := 2 * float64(v.Weight) / f.RingBW
+	t += float64(v.TileGather+v.TileScatter) / f.TileBW
+	return t
+}
+
+// ClusterConfig is one allowed (Ng, Nc) wiring of the reconfigurable
+// memory-centric network.
+type ClusterConfig struct {
+	Ng, Nc int
+}
+
+// DefaultConfigs returns the paper's three dynamic-clustering wirings for
+// p workers (Section IV): (16, p/16), (4, p/4) and (1, p). Configurations
+// that do not divide p are dropped, so smaller systems still get a menu.
+func DefaultConfigs(p int) []ClusterConfig {
+	var out []ClusterConfig
+	for _, ng := range []int{16, 4, 1} {
+		if p%ng == 0 && p/ng >= 1 {
+			out = append(out, ClusterConfig{Ng: ng, Nc: p / ng})
+		}
+	}
+	return out
+}
+
+// Reductions carries the Section-V traffic-reduction fractions to apply
+// when activation prediction / zero-skipping is enabled. The Get method
+// picks the 1-D or 2-D figures by whether the group count gives each
+// worker whole tile lines.
+type Reductions struct {
+	Gather2D, Gather1D   float64 // activation prediction
+	Scatter2D, Scatter1D float64 // zero-skipping
+}
+
+// PaperReductions returns the measured reductions quoted in Section V-B:
+// activation prediction saves 34.0% (2-D, 6-bit) / 78.1% (1-D, 5-bit) of
+// gathering; zero-skipping saves 39.3% / 64.7% of scattering.
+func PaperReductions() Reductions {
+	return Reductions{Gather2D: 0.340, Gather1D: 0.781, Scatter2D: 0.393, Scatter1D: 0.647}
+}
+
+// Get returns the (gather, scatter) reductions for a group count under
+// tile size t.
+func (r Reductions) Get(t, ng int) (gather, scatter float64) {
+	if ng <= 1 {
+		return 0, 0
+	}
+	if winograd.HoldsWholeLines(t, ng) {
+		return r.Gather1D, r.Scatter1D
+	}
+	return r.Gather2D, r.Scatter2D
+}
+
+// StrategyFor assembles a Strategy for one clustering configuration,
+// choosing the transform by the paper's rule (F(4×4,3×3) at Ng=1,
+// F(2×2,3×3) otherwise for 3×3 kernels) and applying reductions when pred
+// is true.
+func StrategyFor(cfg ClusterConfig, k int, pred bool, red Reductions) (Strategy, *winograd.Transform) {
+	tr, err := winograd.ForKernel(k, cfg.Ng)
+	if err != nil {
+		panic(err)
+	}
+	s := Strategy{Ng: cfg.Ng, Nc: cfg.Nc, Winograd: true}
+	if pred {
+		s.GatherReduction, s.ScatterReduction = red.Get(tr.T, cfg.Ng)
+	}
+	return s, tr
+}
+
+// ChooseClustering picks, for one layer, the configuration from configs
+// with the smallest estimated communication time on the fabric — the
+// pre-computed per-layer decision the paper's dynamic clustering makes
+// ("the optimal configuration per layer ... is pre-determined").
+func ChooseClustering(p conv.Params, batch int, configs []ClusterConfig, f Fabric, pred bool, red Reductions) (ClusterConfig, Volumes) {
+	best := configs[0]
+	bestTime := math.Inf(1)
+	var bestVol Volumes
+	for _, cfg := range configs {
+		s, tr := StrategyFor(cfg, p.K, pred, red)
+		v := LayerVolumes(tr, p, batch, s)
+		if t := f.EstimateTime(v); t < bestTime {
+			bestTime = t
+			best = cfg
+			bestVol = v
+		}
+	}
+	return best, bestVol
+}
+
+// NetworkVolumesDynamic sums per-worker volumes over a network with
+// per-layer dynamic clustering, returning the total and the chosen
+// configuration per layer (indexed like net.Layers).
+func NetworkVolumesDynamic(net model.Network, p int, f Fabric, pred bool, red Reductions) (Volumes, []ClusterConfig) {
+	configs := DefaultConfigs(p)
+	var total Volumes
+	choices := make([]ClusterConfig, len(net.Layers))
+	for i, l := range net.Layers {
+		cfg, v := ChooseClustering(l.P, net.Batch, configs, f, pred, red)
+		choices[i] = cfg
+		v.TileGather = int64(float64(v.TileGather) * l.EffectiveGatherScale())
+		total = total.add(v.scale(int64(l.EffectiveRepeat())))
+	}
+	return total, choices
+}

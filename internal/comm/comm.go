@@ -1,0 +1,175 @@
+// Package comm implements the closed-form communication model of Section
+// III-C: per-worker traffic volumes for weight-gradient collectives and
+// tile transfer under data-parallel and multi-dimensional parallel
+// training, plus the dynamic-clustering optimizer of Section IV that picks
+// the (Ng, Nc) configuration minimizing estimated communication time per
+// layer.
+package comm
+
+import (
+	"fmt"
+
+	"mptwino/internal/conv"
+	"mptwino/internal/model"
+	"mptwino/internal/winograd"
+)
+
+// Strategy names a parallelization strategy for one layer.
+type Strategy struct {
+	Ng int // groups (intra-tile parallelism width)
+	Nc int // clusters (data parallelism width); Ng·Nc = p
+
+	// Winograd reports whether the layer runs in the Winograd domain at
+	// all (false = direct convolution, the d_dp baseline).
+	Winograd bool
+
+	// Reduction factors from Section V, expressed as the *fraction of
+	// traffic removed* (0 = no reduction). GatherReduction applies to tile
+	// gathering (activation prediction), ScatterReduction to tile
+	// scattering (zero-skipping).
+	GatherReduction  float64
+	ScatterReduction float64
+}
+
+// Workers returns the total worker count of the strategy.
+func (s Strategy) Workers() int { return s.Ng * s.Nc }
+
+// Validate checks the strategy invariants.
+func (s Strategy) Validate() error {
+	if s.Ng < 1 || s.Nc < 1 {
+		return fmt.Errorf("comm: Ng=%d Nc=%d must be >= 1", s.Ng, s.Nc)
+	}
+	if s.GatherReduction < 0 || s.GatherReduction > 1 ||
+		s.ScatterReduction < 0 || s.ScatterReduction > 1 {
+		return fmt.Errorf("comm: reductions must be in [0,1]")
+	}
+	return nil
+}
+
+// Volumes is the per-worker, per-iteration communication of one layer,
+// in bytes, split by traffic type. Weight volume is one collective
+// direction (the reduce); the time model doubles it for the broadcast.
+type Volumes struct {
+	Weight      int64 // weight-gradient ring collective, one direction
+	TileGather  int64 // Winograd-domain output tiles gathered (fprop+bprop)
+	TileScatter int64 // Winograd-domain input tiles scattered (fprop+bprop)
+}
+
+// Total returns the summed per-worker bytes.
+func (v Volumes) Total() int64 { return v.Weight + v.TileGather + v.TileScatter }
+
+// scale multiplies all fields by k (used for layer Repeat counts).
+func (v Volumes) scale(k int64) Volumes {
+	return Volumes{Weight: v.Weight * k, TileGather: v.TileGather * k, TileScatter: v.TileScatter * k}
+}
+
+func (v Volumes) add(o Volumes) Volumes {
+	return Volumes{
+		Weight:      v.Weight + o.Weight,
+		TileGather:  v.TileGather + o.TileGather,
+		TileScatter: v.TileScatter + o.TileScatter,
+	}
+}
+
+// SpatialWeightBytes returns |w| for a layer.
+func SpatialWeightBytes(p conv.Params) int64 {
+	return 4 * int64(p.In) * int64(p.Out) * int64(p.K) * int64(p.K)
+}
+
+// WinogradWeightBytes returns |W| for a layer under transform tr.
+func WinogradWeightBytes(tr *winograd.Transform, p conv.Params) int64 {
+	return 4 * int64(p.In) * int64(p.Out) * int64(tr.T) * int64(tr.T)
+}
+
+// TileBytes returns |Tiles| for one tensor role (input or output channels
+// c) of a layer: the whole batch's Winograd-domain feature-map volume.
+func TileBytes(tr *winograd.Transform, p conv.Params, batch, c int) int64 {
+	m := tr.M
+	th := (p.OutH() + m - 1) / m
+	tw := (p.OutW() + m - 1) / m
+	return 4 * int64(batch) * int64(th) * int64(tw) * int64(c) * int64(tr.T) * int64(tr.T)
+}
+
+// RingCollectivePerWorker returns the per-worker one-direction traffic of a
+// pipelined ring collective over n workers with a msg-byte payload:
+// msg·(n−1)/n (paper Section III-C). A single worker communicates nothing.
+func RingCollectivePerWorker(msg int64, n int) int64 {
+	if n <= 1 {
+		return 0
+	}
+	return msg * int64(n-1) / int64(n)
+}
+
+// TileTransferPerWorker returns the per-worker traffic of distributing
+// tile data across ng groups when each worker holds tiles/(nc·ng) bytes:
+// the (ng−1)/ng share leaves the worker (paper Section III-C).
+func TileTransferPerWorker(tiles int64, ng, nc int) int64 {
+	if ng <= 1 {
+		return 0
+	}
+	held := tiles / int64(nc) / int64(ng)
+	return held * int64(ng-1) / int64(ng)
+}
+
+// LayerVolumes computes the per-worker, per-iteration communication of one
+// layer under the strategy, covering all three phases:
+//
+//   - fprop:  scatter input tiles X, gather output tiles Y
+//   - bprop:  scatter output-gradient tiles dY, gather input-gradient dX
+//   - updateGrad: ring collective of the group's weight-gradient shard
+//
+// Direct-convolution and single-group Winograd strategies have no tile
+// transfer; single-cluster strategies (Nc=1) have no weight collective.
+// When the group count lets each worker hold whole tile lines, the 1-D
+// transform optimization shrinks gathered tiles by m/T (Section IV).
+func LayerVolumes(tr *winograd.Transform, p conv.Params, batch int, s Strategy) Volumes {
+	if err := s.Validate(); err != nil {
+		panic(err)
+	}
+	var v Volumes
+	if !s.Winograd {
+		// d_dp: spatial weights reduced across all p workers.
+		v.Weight = RingCollectivePerWorker(SpatialWeightBytes(p), s.Workers())
+		return v
+	}
+	if s.Ng == 1 {
+		// w_dp: Winograd compute but data-parallel weights; Table IV keeps
+		// spatial weights ("update w") so the collective moves |w|.
+		v.Weight = RingCollectivePerWorker(SpatialWeightBytes(p), s.Workers())
+		return v
+	}
+
+	// MPT: Winograd-domain weights, partitioned across groups.
+	wBytes := WinogradWeightBytes(tr, p) / int64(s.Ng)
+	v.Weight = RingCollectivePerWorker(wBytes, s.Nc)
+
+	inTiles := TileBytes(tr, p, batch, p.In)
+	outTiles := TileBytes(tr, p, batch, p.Out)
+
+	gather := TileTransferPerWorker(outTiles, s.Ng, s.Nc) + // fprop: Y
+		TileTransferPerWorker(inTiles, s.Ng, s.Nc) // bprop: dX
+	scatter := TileTransferPerWorker(inTiles, s.Ng, s.Nc) + // fprop: X
+		TileTransferPerWorker(outTiles, s.Ng, s.Nc) // bprop: dY
+
+	if winograd.HoldsWholeLines(tr.T, s.Ng) && s.Ng > 1 {
+		// Whole-line ownership enables the 1-D inverse transform at the
+		// source: gathered data shrinks from T to m values per line.
+		gather = gather * int64(tr.M) / int64(tr.T)
+	}
+
+	v.TileGather = int64(float64(gather) * (1 - s.GatherReduction))
+	v.TileScatter = int64(float64(scatter) * (1 - s.ScatterReduction))
+	return v
+}
+
+// NetworkVolumes sums per-worker volumes over a network's layers for a
+// fixed strategy, honoring Repeat and GatherScale.
+func NetworkVolumes(net model.Network, tr *winograd.Transform, s Strategy) Volumes {
+	var total Volumes
+	for _, l := range net.Layers {
+		v := LayerVolumes(tr, l.P, net.Batch, s)
+		v.TileGather = int64(float64(v.TileGather) * l.EffectiveGatherScale())
+		total = total.add(v.scale(int64(l.EffectiveRepeat())))
+	}
+	return total
+}

@@ -1,0 +1,188 @@
+// Package conv implements spatial-domain (direct) convolution for CNN
+// training: forward propagation, backward propagation of input gradients,
+// and weight-gradient computation. It is both the reference against which
+// the Winograd path is verified and the paper's d_dp baseline algorithm.
+//
+// Conventions follow the paper's Section II-A:
+//
+//	y_{b,j}  = Σ_i  x_{b,i} * w_{i,j}                (fprop, eq. before ReLU)
+//	dx_{b,i} = Σ_j  dy_{b,j} * rot180(w_{i,j})       (bprop)
+//	dw_{i,j} = Σ_b  dy_{b,j} ⋆ x_{b,i}               (updateGrad)
+//
+// Stride is fixed to 1 (all evaluated layers use stride-1 3×3/5×5 kernels);
+// padding is explicit.
+package conv
+
+import (
+	"fmt"
+
+	"mptwino/internal/tensor"
+)
+
+// Params describes one convolution layer's geometry.
+type Params struct {
+	In   int // input channels (I)
+	Out  int // output channels (J)
+	K    int // square kernel size (r); 3 or 5 in the paper
+	Pad  int // symmetric zero padding on each border
+	H, W int // input feature-map height and width
+}
+
+// SamePad returns the padding that keeps the output the same size as the
+// input for kernel size k (k odd).
+func SamePad(k int) int { return (k - 1) / 2 }
+
+// OutH returns the output height for the given geometry.
+func (p Params) OutH() int { return p.H + 2*p.Pad - p.K + 1 }
+
+// OutW returns the output width for the given geometry.
+func (p Params) OutW() int { return p.W + 2*p.Pad - p.K + 1 }
+
+// Validate reports whether the geometry is self-consistent.
+func (p Params) Validate() error {
+	switch {
+	case p.In <= 0 || p.Out <= 0:
+		return fmt.Errorf("conv: channels must be positive, got I=%d J=%d", p.In, p.Out)
+	case p.K <= 0:
+		return fmt.Errorf("conv: kernel size must be positive, got %d", p.K)
+	case p.Pad < 0:
+		return fmt.Errorf("conv: negative padding %d", p.Pad)
+	case p.OutH() <= 0 || p.OutW() <= 0:
+		return fmt.Errorf("conv: empty output %dx%d for input %dx%d k=%d pad=%d",
+			p.OutH(), p.OutW(), p.H, p.W, p.K, p.Pad)
+	}
+	return nil
+}
+
+// checkX panics unless x matches the layer's expected input shape.
+func (p Params) checkX(x *tensor.Tensor) {
+	if x.C != p.In || x.H != p.H || x.W != p.W {
+		panic(fmt.Sprintf("conv: input shape %s does not match params I=%d H=%d W=%d",
+			x.ShapeString(), p.In, p.H, p.W))
+	}
+}
+
+// checkW panics unless w is the layer's expected weight shape
+// (Out, In, K, K) in tensor NCHW fields.
+func (p Params) checkW(w *tensor.Tensor) {
+	if w.N != p.Out || w.C != p.In || w.H != p.K || w.W != p.K {
+		panic(fmt.Sprintf("conv: weight shape %s does not match params J=%d I=%d K=%d",
+			w.ShapeString(), p.Out, p.In, p.K))
+	}
+}
+
+// Fprop computes y = x * w with the layer geometry in p.
+// x is (B, In, H, W); w is (Out, In, K, K); the result is
+// (B, Out, OutH, OutW). No activation is applied.
+func Fprop(p Params, x, w *tensor.Tensor) *tensor.Tensor {
+	p.checkX(x)
+	p.checkW(w)
+	oh, ow := p.OutH(), p.OutW()
+	y := tensor.New(x.N, p.Out, oh, ow)
+	for b := 0; b < x.N; b++ {
+		for j := 0; j < p.Out; j++ {
+			for i := 0; i < p.In; i++ {
+				for yy := 0; yy < oh; yy++ {
+					for xx := 0; xx < ow; xx++ {
+						var acc float32
+						for kh := 0; kh < p.K; kh++ {
+							ih := yy + kh - p.Pad
+							if ih < 0 || ih >= p.H {
+								continue
+							}
+							for kw := 0; kw < p.K; kw++ {
+								iw := xx + kw - p.Pad
+								if iw < 0 || iw >= p.W {
+									continue
+								}
+								acc += x.At(b, i, ih, iw) * w.At(j, i, kh, kw)
+							}
+						}
+						y.Add(b, j, yy, xx, acc)
+					}
+				}
+			}
+		}
+	}
+	return y
+}
+
+// Bprop computes dx = dy * rot180(w): the gradient of the loss with respect
+// to the layer input. dy is (B, Out, OutH, OutW); the result matches x's
+// shape (B, In, H, W). The derivative of the activation is applied by the
+// caller (the nn package), matching the paper's phase decomposition.
+func Bprop(p Params, dy, w *tensor.Tensor) *tensor.Tensor {
+	p.checkW(w)
+	oh, ow := p.OutH(), p.OutW()
+	if dy.C != p.Out || dy.H != oh || dy.W != ow {
+		panic(fmt.Sprintf("conv: dy shape %s does not match output J=%d %dx%d",
+			dy.ShapeString(), p.Out, oh, ow))
+	}
+	dx := tensor.New(dy.N, p.In, p.H, p.W)
+	// dx[b,i,ih,iw] = Σ_j Σ_kh Σ_kw dy[b,j, ih-kh+pad, iw-kw+pad] * w[j,i,kh,kw]
+	for b := 0; b < dy.N; b++ {
+		for i := 0; i < p.In; i++ {
+			for j := 0; j < p.Out; j++ {
+				for ih := 0; ih < p.H; ih++ {
+					for iw := 0; iw < p.W; iw++ {
+						var acc float32
+						for kh := 0; kh < p.K; kh++ {
+							oy := ih - kh + p.Pad
+							if oy < 0 || oy >= oh {
+								continue
+							}
+							for kw := 0; kw < p.K; kw++ {
+								ox := iw - kw + p.Pad
+								if ox < 0 || ox >= ow {
+									continue
+								}
+								acc += dy.At(b, j, oy, ox) * w.At(j, i, kh, kw)
+							}
+						}
+						dx.Add(b, i, ih, iw, acc)
+					}
+				}
+			}
+		}
+	}
+	return dx
+}
+
+// UpdateGrad computes dw[j,i,kh,kw] = Σ_b Σ_{yy,xx} dy[b,j,yy,xx] ·
+// x[b,i,yy+kh-pad,xx+kw-pad]: the weight gradient accumulated over the
+// batch. The result has the weight shape (Out, In, K, K).
+func UpdateGrad(p Params, x, dy *tensor.Tensor) *tensor.Tensor {
+	p.checkX(x)
+	oh, ow := p.OutH(), p.OutW()
+	if dy.C != p.Out || dy.H != oh || dy.W != ow || dy.N != x.N {
+		panic(fmt.Sprintf("conv: dy shape %s does not match output B=%d J=%d %dx%d",
+			dy.ShapeString(), x.N, p.Out, oh, ow))
+	}
+	dw := tensor.New(p.Out, p.In, p.K, p.K)
+	for b := 0; b < x.N; b++ {
+		for j := 0; j < p.Out; j++ {
+			for i := 0; i < p.In; i++ {
+				for kh := 0; kh < p.K; kh++ {
+					for kw := 0; kw < p.K; kw++ {
+						var acc float32
+						for yy := 0; yy < oh; yy++ {
+							ih := yy + kh - p.Pad
+							if ih < 0 || ih >= p.H {
+								continue
+							}
+							for xx := 0; xx < ow; xx++ {
+								iw := xx + kw - p.Pad
+								if iw < 0 || iw >= p.W {
+									continue
+								}
+								acc += dy.At(b, j, yy, xx) * x.At(b, i, ih, iw)
+							}
+						}
+						dw.Add(j, i, kh, kw, acc)
+					}
+				}
+			}
+		}
+	}
+	return dw
+}

@@ -1,0 +1,314 @@
+package conv
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"math/rand"
+
+	"mptwino/internal/tensor"
+)
+
+func randTensors(p Params, b int, seed uint64) (x, w *tensor.Tensor) {
+	r := tensor.NewRNG(seed)
+	x = tensor.New(b, p.In, p.H, p.W)
+	w = tensor.New(p.Out, p.In, p.K, p.K)
+	r.FillNormal(x, 0, 1)
+	r.FillHe(w, p.In*p.K*p.K)
+	return x, w
+}
+
+func TestParamsValidate(t *testing.T) {
+	good := Params{In: 3, Out: 8, K: 3, Pad: 1, H: 8, W: 8}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid params rejected: %v", err)
+	}
+	bad := []Params{
+		{In: 0, Out: 8, K: 3, Pad: 1, H: 8, W: 8},
+		{In: 3, Out: 0, K: 3, Pad: 1, H: 8, W: 8},
+		{In: 3, Out: 8, K: 0, Pad: 1, H: 8, W: 8},
+		{In: 3, Out: 8, K: 3, Pad: -1, H: 8, W: 8},
+		{In: 3, Out: 8, K: 9, Pad: 0, H: 4, W: 4}, // empty output
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad params %d accepted", i)
+		}
+	}
+}
+
+func TestSamePadKeepsSize(t *testing.T) {
+	for _, k := range []int{1, 3, 5, 7} {
+		p := Params{In: 1, Out: 1, K: k, Pad: SamePad(k), H: 10, W: 10}
+		if p.OutH() != 10 || p.OutW() != 10 {
+			t.Fatalf("k=%d: same-pad output %dx%d", k, p.OutH(), p.OutW())
+		}
+	}
+}
+
+func TestFpropIdentityKernel(t *testing.T) {
+	// A 3x3 kernel with 1 in the center and same-padding is the identity.
+	p := Params{In: 1, Out: 1, K: 3, Pad: 1, H: 5, W: 5}
+	x, _ := randTensors(p, 2, 3)
+	w := tensor.New(1, 1, 3, 3)
+	w.Set(0, 0, 1, 1, 1)
+	y := Fprop(p, x, w)
+	if d := y.MaxAbsDiff(x); d != 0 {
+		t.Fatalf("identity kernel changed input, maxdiff=%v", d)
+	}
+}
+
+func TestFpropKnownValues(t *testing.T) {
+	// 1x1 input channel, 3x3 input, 2x2 kernel, no padding: hand-checkable.
+	p := Params{In: 1, Out: 1, K: 2, Pad: 0, H: 3, W: 3}
+	x := tensor.FromSlice(1, 1, 3, 3, []float32{1, 2, 3, 4, 5, 6, 7, 8, 9})
+	w := tensor.FromSlice(1, 1, 2, 2, []float32{1, 0, 0, 1})
+	y := Fprop(p, x, w)
+	want := []float32{1 + 5, 2 + 6, 4 + 8, 5 + 9}
+	for i, v := range want {
+		if y.Data[i] != v {
+			t.Fatalf("y[%d] = %v, want %v", i, y.Data[i], v)
+		}
+	}
+}
+
+func TestFpropMultiChannelAccumulates(t *testing.T) {
+	// Two input channels with identical content and a kernel of all ones in
+	// each: output must be exactly 2x the single-channel result.
+	p1 := Params{In: 1, Out: 1, K: 3, Pad: 1, H: 6, W: 6}
+	p2 := Params{In: 2, Out: 1, K: 3, Pad: 1, H: 6, W: 6}
+	x1, _ := randTensors(p1, 1, 5)
+	x2 := tensor.New(1, 2, 6, 6)
+	copy(x2.Data[:36], x1.Data)
+	copy(x2.Data[36:], x1.Data)
+	w1 := tensor.New(1, 1, 3, 3)
+	for i := range w1.Data {
+		w1.Data[i] = 1
+	}
+	w2 := tensor.New(1, 2, 3, 3)
+	for i := range w2.Data {
+		w2.Data[i] = 1
+	}
+	y1 := Fprop(p1, x1, w1)
+	y2 := Fprop(p2, x2, w2)
+	y1.Scale(2)
+	if d := y2.MaxAbsDiff(y1); d > 1e-5 {
+		t.Fatalf("channel accumulation wrong, maxdiff=%v", d)
+	}
+}
+
+func TestIm2colMatchesFprop(t *testing.T) {
+	p := Params{In: 3, Out: 4, K: 3, Pad: 1, H: 7, W: 6}
+	x, w := randTensors(p, 2, 7)
+	y1 := Fprop(p, x, w)
+	y2 := FpropIm2col(p, x, w)
+	if d := y1.MaxAbsDiff(y2); d > 1e-4 {
+		t.Fatalf("im2col path diverges from direct loops, maxdiff=%v", d)
+	}
+}
+
+func TestIm2colMatchesFpropNoPad(t *testing.T) {
+	p := Params{In: 2, Out: 3, K: 5, Pad: 0, H: 9, W: 9}
+	x, w := randTensors(p, 1, 11)
+	y1 := Fprop(p, x, w)
+	y2 := FpropIm2col(p, x, w)
+	if d := y1.MaxAbsDiff(y2); d > 1e-4 {
+		t.Fatalf("im2col (5x5, pad 0) diverges, maxdiff=%v", d)
+	}
+}
+
+// lossOf computes L = 0.5 Σ y², the test loss whose gradient is dy = y.
+func lossOf(y *tensor.Tensor) float64 {
+	var s float64
+	for _, v := range y.Data {
+		s += 0.5 * float64(v) * float64(v)
+	}
+	return s
+}
+
+// TestBpropFiniteDifference gradient-checks dx against numeric perturbation
+// of the loss L = 0.5||y||².
+func TestBpropFiniteDifference(t *testing.T) {
+	p := Params{In: 2, Out: 3, K: 3, Pad: 1, H: 4, W: 4}
+	x, w := randTensors(p, 1, 13)
+	y := Fprop(p, x, w)
+	dx := Bprop(p, y, w) // dy = y for this loss
+
+	const eps = 1e-3
+	// Check a scattering of positions, not all, to keep the test fast.
+	r := tensor.NewRNG(99)
+	for trial := 0; trial < 12; trial++ {
+		idx := r.Intn(x.Len())
+		orig := x.Data[idx]
+		x.Data[idx] = orig + eps
+		lp := lossOf(Fprop(p, x, w))
+		x.Data[idx] = orig - eps
+		lm := lossOf(Fprop(p, x, w))
+		x.Data[idx] = orig
+		numeric := (lp - lm) / (2 * eps)
+		analytic := float64(dx.Data[idx])
+		if math.Abs(numeric-analytic) > 1e-2*(1+math.Abs(numeric)) {
+			t.Fatalf("dx[%d]: numeric %v vs analytic %v", idx, numeric, analytic)
+		}
+	}
+}
+
+// TestUpdateGradFiniteDifference gradient-checks dw the same way.
+func TestUpdateGradFiniteDifference(t *testing.T) {
+	p := Params{In: 2, Out: 2, K: 3, Pad: 1, H: 4, W: 4}
+	x, w := randTensors(p, 2, 17)
+	y := Fprop(p, x, w)
+	dw := UpdateGrad(p, x, y) // dy = y
+
+	const eps = 1e-3
+	r := tensor.NewRNG(101)
+	for trial := 0; trial < 12; trial++ {
+		idx := r.Intn(w.Len())
+		orig := w.Data[idx]
+		w.Data[idx] = orig + eps
+		lp := lossOf(Fprop(p, x, w))
+		w.Data[idx] = orig - eps
+		lm := lossOf(Fprop(p, x, w))
+		w.Data[idx] = orig
+		numeric := (lp - lm) / (2 * eps)
+		analytic := float64(dw.Data[idx])
+		if math.Abs(numeric-analytic) > 1e-2*(1+math.Abs(numeric)) {
+			t.Fatalf("dw[%d]: numeric %v vs analytic %v", idx, numeric, analytic)
+		}
+	}
+}
+
+// Property: fprop is linear in the input — Fprop(a·x) = a·Fprop(x).
+func TestFpropLinearity(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := tensor.NewRNG(seed)
+		p := Params{In: 1 + r.Intn(3), Out: 1 + r.Intn(3), K: 3, Pad: 1,
+			H: 3 + r.Intn(4), W: 3 + r.Intn(4)}
+		x, w := randTensors(p, 1, seed+1)
+		alpha := float32(0.5 + r.Float64())
+		y1 := Fprop(p, x, w)
+		y1.Scale(alpha)
+		xs := x.Clone()
+		xs.Scale(alpha)
+		y2 := Fprop(p, xs, w)
+		return y1.MaxAbsDiff(y2) < 1e-3
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the adjoint identity <Fprop(x), dy> == <x, Bprop(dy)>, which
+// holds exactly when Bprop is the true transpose of Fprop.
+func TestBpropIsAdjointOfFprop(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := tensor.NewRNG(seed)
+		p := Params{In: 1 + r.Intn(2), Out: 1 + r.Intn(2), K: 3, Pad: 1,
+			H: 3 + r.Intn(3), W: 3 + r.Intn(3)}
+		x, w := randTensors(p, 1, seed+2)
+		dy := tensor.New(1, p.Out, p.OutH(), p.OutW())
+		r.FillNormal(dy, 0, 1)
+		y := Fprop(p, x, w)
+		dx := Bprop(p, dy, w)
+		var lhs, rhs float64
+		for i := range y.Data {
+			lhs += float64(y.Data[i]) * float64(dy.Data[i])
+		}
+		for i := range x.Data {
+			rhs += float64(x.Data[i]) * float64(dx.Data[i])
+		}
+		return math.Abs(lhs-rhs) < 1e-2*(1+math.Abs(lhs))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCostsArePositiveAndScaleWithBatch(t *testing.T) {
+	p := Params{In: 64, Out: 128, K: 3, Pad: 1, H: 56, W: 56}
+	c1 := FpropCost(p, 1)
+	c2 := FpropCost(p, 2)
+	if c1.MACs <= 0 || c1.Total() <= 0 {
+		t.Fatal("non-positive cost")
+	}
+	if c2.MACs != 2*c1.MACs {
+		t.Fatalf("MACs not linear in batch: %d vs %d", c2.MACs, c1.MACs)
+	}
+	if c2.WeightByte != c1.WeightByte {
+		t.Fatal("weight bytes should not scale with batch")
+	}
+	// updateGrad and fprop have the same MAC count.
+	if UpdateGradCost(p, 4).MACs != FpropCost(p, 4).MACs {
+		t.Fatal("updateGrad MACs should equal fprop MACs")
+	}
+	// bprop swaps the input/output byte roles.
+	bc := BpropCost(p, 4)
+	fc := FpropCost(p, 4)
+	if bc.InputByte != fc.OutputByte || bc.OutputByte != fc.InputByte {
+		t.Fatal("bprop byte roles not swapped")
+	}
+}
+
+func TestFpropShapePanics(t *testing.T) {
+	p := Params{In: 2, Out: 2, K: 3, Pad: 1, H: 4, W: 4}
+	x := tensor.New(1, 3, 4, 4) // wrong channel count
+	w := tensor.New(2, 2, 3, 3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Fprop with wrong input channels did not panic")
+		}
+	}()
+	Fprop(p, x, w)
+}
+
+// Property: UpdateGrad is the weight-adjoint of Fprop:
+// <UpdateGrad(x,dy), v> == <dy, Fprop(x,v)> for any weight-shaped v.
+func TestUpdateGradIsWeightAdjoint(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := tensor.NewRNG(seed)
+		p := Params{In: 1 + r.Intn(2), Out: 1 + r.Intn(2), K: 3, Pad: 1,
+			H: 3 + r.Intn(3), W: 3 + r.Intn(3)}
+		x := tensor.New(1, p.In, p.H, p.W)
+		dy := tensor.New(1, p.Out, p.OutH(), p.OutW())
+		v := tensor.New(p.Out, p.In, 3, 3)
+		r.FillNormal(x, 0, 1)
+		r.FillNormal(dy, 0, 1)
+		r.FillNormal(v, 0, 1)
+		dw := UpdateGrad(p, x, dy)
+		var lhs float64
+		for i := range dw.Data {
+			lhs += float64(dw.Data[i]) * float64(v.Data[i])
+		}
+		y := Fprop(p, x, v)
+		var rhs float64
+		for i := range y.Data {
+			rhs += float64(dy.Data[i]) * float64(y.Data[i])
+		}
+		return math.Abs(lhs-rhs) < 1e-2*(1+math.Abs(lhs))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: convolving with a shifted delta kernel translates the output
+// (translation equivariance of stride-1 same-padded convolution, away from
+// borders).
+func TestFpropTranslationEquivariance(t *testing.T) {
+	p := Params{In: 1, Out: 1, K: 3, Pad: 1, H: 8, W: 8}
+	r := tensor.NewRNG(123)
+	x := tensor.New(1, 1, 8, 8)
+	r.FillNormal(x, 0, 1)
+	// Kernel = delta at (1,2): shifts the image left by one column.
+	w := tensor.New(1, 1, 3, 3)
+	w.Set(0, 0, 1, 2, 1)
+	y := Fprop(p, x, w)
+	for h := 0; h < 8; h++ {
+		for ww := 0; ww < 7; ww++ {
+			if y.At(0, 0, h, ww) != x.At(0, 0, h, ww+1) {
+				t.Fatalf("shift kernel wrong at (%d,%d)", h, ww)
+			}
+		}
+	}
+}

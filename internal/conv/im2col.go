@@ -1,0 +1,110 @@
+package conv
+
+import "mptwino/internal/tensor"
+
+// Im2col lowers the input tensor x to a matrix of shape
+// (In*K*K) × (B*OutH*OutW) so that the whole convolution becomes one large
+// matrix multiplication — the single-matmul structure the paper contrasts
+// with the T² small independent matmuls of the Winograd domain (Fig. 3).
+// Out-of-bounds taps contribute zeros (padding).
+func Im2col(p Params, x *tensor.Tensor) *tensor.Mat {
+	p.checkX(x)
+	oh, ow := p.OutH(), p.OutW()
+	rows := p.In * p.K * p.K
+	cols := x.N * oh * ow
+	m := tensor.NewMat(rows, cols)
+	for i := 0; i < p.In; i++ {
+		for kh := 0; kh < p.K; kh++ {
+			for kw := 0; kw < p.K; kw++ {
+				r := (i*p.K+kh)*p.K + kw
+				row := m.Data[r*cols : (r+1)*cols]
+				col := 0
+				for b := 0; b < x.N; b++ {
+					for yy := 0; yy < oh; yy++ {
+						ih := yy + kh - p.Pad
+						for xx := 0; xx < ow; xx++ {
+							iw := xx + kw - p.Pad
+							if ih >= 0 && ih < p.H && iw >= 0 && iw < p.W {
+								row[col] = x.At(b, i, ih, iw)
+							}
+							col++
+						}
+					}
+				}
+			}
+		}
+	}
+	return m
+}
+
+// FpropIm2col computes the same result as Fprop through the lowered
+// matmul path: Y = Wmat · Im2col(x), then reshapes back to NCHW.
+func FpropIm2col(p Params, x, w *tensor.Tensor) *tensor.Tensor {
+	p.checkW(w)
+	lowered := Im2col(p, x)
+	wm := tensor.MatFromSlice(p.Out, p.In*p.K*p.K, w.Data)
+	ym := tensor.MatMul(wm, lowered)
+	oh, ow := p.OutH(), p.OutW()
+	y := tensor.New(x.N, p.Out, oh, ow)
+	// ym is (Out) × (B*oh*ow) with column order (b, yy, xx).
+	for j := 0; j < p.Out; j++ {
+		row := ym.Data[j*ym.Cols : (j+1)*ym.Cols]
+		col := 0
+		for b := 0; b < x.N; b++ {
+			for yy := 0; yy < oh; yy++ {
+				for xx := 0; xx < ow; xx++ {
+					y.Set(b, j, yy, xx, row[col])
+					col++
+				}
+			}
+		}
+	}
+	return y
+}
+
+// Cost reports the algorithmic cost of one direct-convolution phase:
+// multiply-accumulate operations and the bytes of unique data touched
+// (inputs read + weights read + outputs written, FP32). It backs Fig. 1's
+// compute-vs-access comparison.
+type Cost struct {
+	MACs       int64 // multiply-accumulate operations
+	InputByte  int64 // feature-map bytes read
+	WeightByte int64 // weight bytes read
+	OutputByte int64 // output bytes written
+}
+
+// Total returns the total bytes accessed.
+func (c Cost) Total() int64 { return c.InputByte + c.WeightByte + c.OutputByte }
+
+// FpropCost returns the direct-convolution fprop cost for batch size b.
+func FpropCost(p Params, b int) Cost {
+	oh, ow := int64(p.OutH()), int64(p.OutW())
+	bi, ii, jj, kk := int64(b), int64(p.In), int64(p.Out), int64(p.K)
+	return Cost{
+		MACs:       bi * jj * ii * oh * ow * kk * kk,
+		InputByte:  4 * bi * ii * int64(p.H) * int64(p.W),
+		WeightByte: 4 * jj * ii * kk * kk,
+		OutputByte: 4 * bi * jj * oh * ow,
+	}
+}
+
+// BpropCost returns the direct-convolution bprop cost for batch size b.
+// It is symmetric with fprop (full convolution with the flipped kernel).
+func BpropCost(p Params, b int) Cost {
+	c := FpropCost(p, b)
+	// dy read, dx written: same volumes as y and x respectively.
+	c.InputByte, c.OutputByte = c.OutputByte, c.InputByte
+	return c
+}
+
+// UpdateGradCost returns the weight-gradient cost for batch size b.
+func UpdateGradCost(p Params, b int) Cost {
+	oh, ow := int64(p.OutH()), int64(p.OutW())
+	bi, ii, jj, kk := int64(b), int64(p.In), int64(p.Out), int64(p.K)
+	return Cost{
+		MACs:       bi * jj * ii * oh * ow * kk * kk,
+		InputByte:  4 * (bi*ii*int64(p.H)*int64(p.W) + bi*jj*oh*ow), // x and dy both read
+		WeightByte: 0,
+		OutputByte: 4 * jj * ii * kk * kk, // dw written
+	}
+}

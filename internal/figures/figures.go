@@ -1,0 +1,299 @@
+// Package figures regenerates every figure and headline number of the
+// paper's evaluation as text tables plus structured series. cmd/figures
+// prints them; bench_test.go runs them as benchmarks and reports the key
+// metrics; EXPERIMENTS.md records paper-vs-measured for each.
+package figures
+
+import (
+	"fmt"
+	"strings"
+
+	"mptwino/internal/comm"
+	"mptwino/internal/gpu"
+	"mptwino/internal/model"
+	"mptwino/internal/sim"
+	"mptwino/internal/winograd"
+)
+
+// Result is one regenerated figure: a human-readable table and the
+// headline metrics EXPERIMENTS.md tracks.
+type Result struct {
+	ID      string
+	Title   string
+	Table   string
+	Metrics map[string]float64
+}
+
+// Fig01 reproduces Figure 1: computation and memory access of direct vs
+// Winograd-transformed convolution for the five Table II layers (B=256,
+// F(4×4,3×3) as in the single-worker measurement).
+func Fig01() Result {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %14s %14s %12s %12s\n", "layer", "direct GMACs", "wino GMACs", "comp redux", "access incr")
+	metrics := map[string]float64{}
+	var sumRed, sumInc float64
+	layers := model.FiveLayers()
+	for _, l := range layers {
+		red, inc := winograd.Savings(winograd.F4x4_3x3, l.P, 256)
+		dc := float64(convMACs(l, 256)) / 1e9
+		wc := dc / red
+		fmt.Fprintf(&b, "%-8s %14.1f %14.1f %11.2fx %11.2fx\n", l.Name, dc, wc, red, inc)
+		sumRed += red
+		sumInc += inc
+	}
+	n := float64(len(layers))
+	fmt.Fprintf(&b, "%-8s %14s %14s %11.2fx %11.2fx\n", "AVG", "", "", sumRed/n, sumInc/n)
+	metrics["avg_compute_reduction"] = sumRed / n
+	metrics["avg_access_increase"] = sumInc / n
+	return Result{
+		ID:      "fig01",
+		Title:   "Fig. 1: compute vs data access, direct vs Winograd (paper: 2.8x less compute, 4.4x more access)",
+		Table:   b.String(),
+		Metrics: metrics,
+	}
+}
+
+func convMACs(l model.Layer, batch int) int64 {
+	p := l.P
+	return int64(batch) * int64(p.OutH()) * int64(p.OutW()) *
+		int64(p.In) * int64(p.Out) * int64(p.K) * int64(p.K)
+}
+
+// Fig06 reproduces Figure 6: per-worker communication per iteration for an
+// early and a late layer under data parallelism and MPT variants (p=256).
+func Fig06() Result {
+	var b strings.Builder
+	layers := []model.Layer{model.FiveLayers()[0], model.FiveLayers()[4]}
+	strategies := []struct {
+		name string
+		s    comm.Strategy
+		tr   *winograd.Transform
+	}{
+		{"dp", comm.Strategy{Ng: 1, Nc: 256, Winograd: true}, winograd.F4x4_3x3},
+		{"mpt-4g", comm.Strategy{Ng: 4, Nc: 64, Winograd: true}, winograd.F2x2_3x3},
+		{"mpt-16g", comm.Strategy{Ng: 16, Nc: 16, Winograd: true}, winograd.F2x2_3x3},
+	}
+	metrics := map[string]float64{}
+	fmt.Fprintf(&b, "%-8s %-8s %12s %12s %12s %12s\n", "layer", "strategy", "weight MB", "gather MB", "scatter MB", "total MB")
+	for _, l := range layers {
+		for _, st := range strategies {
+			v := comm.LayerVolumes(st.tr, l.P, 256, st.s)
+			mb := func(x int64) float64 { return float64(x) / 1e6 }
+			fmt.Fprintf(&b, "%-8s %-8s %12.3f %12.3f %12.3f %12.3f\n",
+				l.Name, st.name, mb(v.Weight), mb(v.TileGather), mb(v.TileScatter), mb(v.Total()))
+			metrics[l.Name+"/"+st.name+"_total_MB"] = mb(v.Total())
+		}
+	}
+	return Result{
+		ID:      "fig06",
+		Title:   "Fig. 6: per-worker communication by strategy (early layer: MPT adds tile transfer; late layer: MPT shrinks weights)",
+		Table:   b.String(),
+		Metrics: metrics,
+	}
+}
+
+// Fig07 reproduces Figure 7: per-worker communication per iteration of
+// FractalNet training vs worker count, comparing data parallelism, MPT
+// with Ng=Nc=√p, and MPT with dynamic clustering (batch 256).
+func Fig07() Result {
+	var b strings.Builder
+	net := model.FractalNet44()
+	fabric := comm.Fabric{RingBW: 60e9, TileBW: 60e9}
+	red := comm.Reductions{} // Fig. 7 is volumes only, no prediction
+	metrics := map[string]float64{}
+	fmt.Fprintf(&b, "%6s %14s %14s %14s\n", "p", "dp MB", "mpt(sqrt) MB", "mpt+dyn MB")
+	for _, p := range []int{4, 16, 64, 256} {
+		root := isqrt(p)
+		dp := comm.NetworkVolumes(net, winograd.F4x4_3x3, comm.Strategy{Ng: 1, Nc: p, Winograd: true})
+		mpt := comm.NetworkVolumes(net, winograd.F2x2_3x3, comm.Strategy{Ng: root, Nc: p / root, Winograd: true})
+		dyn, _ := comm.NetworkVolumesDynamic(net, p, fabric, false, red)
+		mb := func(v comm.Volumes) float64 { return float64(v.Total()) / 1e6 }
+		fmt.Fprintf(&b, "%6d %14.1f %14.1f %14.1f\n", p, mb(dp), mb(mpt), mb(dyn))
+		if p == 256 {
+			metrics["dp_MB_p256"] = mb(dp)
+			metrics["mpt_MB_p256"] = mb(mpt)
+			metrics["dyn_MB_p256"] = mb(dyn)
+			metrics["dyn_vs_mpt_reduction"] = mb(mpt) / mb(dyn)
+		}
+	}
+	return Result{
+		ID:      "fig07",
+		Title:   "Fig. 7: per-worker communication vs p, FractalNet (paper: dp flat, MPT shrinks; dynamic clustering 1.4x at p=256)",
+		Table:   b.String(),
+		Metrics: metrics,
+	}
+}
+
+func isqrt(n int) int {
+	r := 1
+	for r*r < n {
+		r++
+	}
+	return r
+}
+
+// Fig15 reproduces Figure 15: execution time and energy of forward and
+// backward passes for the five layers across Table IV configurations,
+// normalized to w_dp forward.
+func Fig15() Result {
+	s := sim.DefaultSystem()
+	var b strings.Builder
+	metrics := map[string]float64{}
+	fmt.Fprintf(&b, "%-8s %-7s %3s %10s %10s %10s %12s\n", "layer", "config", "Ng", "fwd(norm)", "bwd(norm)", "tot(norm)", "energy(norm)")
+	var sumDp, sumFull, sumPred float64
+	var sumDpMid, sumPredMid, sumDpLate, sumPredLate float64
+	for li, l := range model.FiveLayers() {
+		ref := s.SimulateLayer(l, 256, sim.WDp)
+		refFwd := ref.ForwardSec
+		refEnergy := ref.Energy.Total()
+		for _, c := range sim.AllConfigs() {
+			r := s.SimulateLayer(l, 256, c)
+			fmt.Fprintf(&b, "%-8s %-7s %3d %10.2f %10.2f %10.2f %12.2f\n",
+				l.Name, c, r.Ng, r.ForwardSec/refFwd, r.BackwardSec/refFwd,
+				r.TotalSec()/refFwd, r.Energy.Total()/refEnergy)
+			if c == sim.WMpFull {
+				ratio := ref.TotalSec() / r.TotalSec()
+				metrics["speedup_"+l.Name] = ratio
+				sumDp += ref.TotalSec()
+				sumFull += r.TotalSec()
+			}
+			if c == sim.WMpPred {
+				sumPred += r.TotalSec()
+				if li == 1 || li == 2 {
+					sumDpMid += ref.TotalSec()
+					sumPredMid += r.TotalSec()
+				}
+				if li == 3 || li == 4 {
+					sumDpLate += ref.TotalSec()
+					sumPredLate += r.TotalSec()
+				}
+			}
+		}
+	}
+	metrics["avg_speedup_wmpfull"] = sumDp / sumFull
+	metrics["mid_speedup_wmppred"] = sumDpMid / sumPredMid
+	metrics["late_speedup_wmppred"] = sumDpLate / sumPredLate
+	return Result{
+		ID:      "fig15",
+		Title:   "Fig. 15: layer-wise time and energy by config, normalized to w_dp forward (paper: w_mp++ 2.74x avg; w_mp+ 2.24x mid / 4.54x late)",
+		Table:   b.String(),
+		Metrics: metrics,
+	}
+}
+
+// Fig16 reproduces Figure 16: average normalized performance for 3×3 vs
+// 5×5 weights.
+func Fig16() Result {
+	s := sim.DefaultSystem()
+	var b strings.Builder
+	metrics := map[string]float64{}
+	fmt.Fprintf(&b, "%-6s %-8s %14s\n", "kernel", "config", "speedup vs w_dp")
+	for _, kcase := range []struct {
+		name   string
+		layers []model.Layer
+	}{
+		{"3x3", model.FiveLayers()},
+		{"5x5", model.FiveLayers5x5()},
+	} {
+		for _, c := range []sim.SystemConfig{sim.WMp, sim.WMpPred, sim.WMpFull} {
+			var mean float64
+			for _, l := range kcase.layers {
+				dp := s.SimulateLayer(l, 256, sim.WDp).TotalSec()
+				v := s.SimulateLayer(l, 256, c).TotalSec()
+				mean += dp / v
+			}
+			mean /= float64(len(kcase.layers))
+			fmt.Fprintf(&b, "%-6s %-8s %13.2fx\n", kcase.name, c, mean)
+			metrics[kcase.name+"_"+c.String()] = mean
+		}
+	}
+	return Result{
+		ID:      "fig16",
+		Title:   "Fig. 16: mean layer speedup over w_dp, 3x3 vs 5x5 weights (paper: 2.74x vs 3.03x; see EXPERIMENTS.md for the 5x5 deviation)",
+		Table:   b.String(),
+		Metrics: metrics,
+	}
+}
+
+// Fig17 reproduces Figure 17: whole-CNN throughput of the 256-worker NDP
+// system (all configs) and the 1–8 GPU system, normalized to 1 NDP worker,
+// at fixed batch 256.
+func Fig17() Result {
+	s := sim.DefaultSystem()
+	g := gpu.DGX1()
+	var b strings.Builder
+	metrics := map[string]float64{}
+	var dpSum, fullSum, gpu8Sum float64
+	for _, net := range model.AllNetworks() {
+		base := sim.SingleWorkerBaseline(net)
+		fmt.Fprintf(&b, "%s (batch %d, 1-NDP baseline %.2f img/s)\n", net.Name, net.Batch, base.ImagesPerSec)
+		for _, c := range sim.AllConfigs()[1:] { // skip d_dp for CNN-level
+			r := s.SimulateNetwork(net, c)
+			sp := sim.Speedup(r, base)
+			fmt.Fprintf(&b, "  ndp-256 %-7s %10.1fx\n", c, sp)
+			metrics[net.Name+"/"+c.String()] = sp
+			if c == sim.WDp {
+				dpSum += sp
+			}
+			if c == sim.WMpFull {
+				fullSum += sp
+			}
+		}
+		for _, ng := range []int{1, 2, 4, 8} {
+			ips := g.ImagesPerSec(net, ng, net.Batch)
+			sp := ips / base.ImagesPerSec
+			fmt.Fprintf(&b, "  gpu-%d          %10.1fx\n", ng, sp)
+			metrics[net.Name+"/gpu"+fmt.Sprint(ng)] = sp
+			if ng == 8 {
+				gpu8Sum += sp
+			}
+		}
+	}
+	n := float64(len(model.AllNetworks()))
+	metrics["avg_wdp_speedup"] = dpSum / n
+	metrics["avg_wmpfull_speedup"] = fullSum / n
+	metrics["avg_wmpfull_over_wdp"] = fullSum / dpSum
+	metrics["avg_wmpfull_over_8gpu"] = fullSum / gpu8Sum
+	fmt.Fprintf(&b, "AVG: w_dp %.0fx, w_mp++ %.0fx (ratio %.2fx), w_mp++/8-GPU %.1fx\n",
+		metrics["avg_wdp_speedup"], metrics["avg_wmpfull_speedup"],
+		metrics["avg_wmpfull_over_wdp"], metrics["avg_wmpfull_over_8gpu"])
+	return Result{
+		ID:      "fig17",
+		Title:   "Fig. 17: whole-CNN speedup vs 1 NDP, fixed batch 256 (paper: w_dp 71x, w_mp++ 191x = 2.7x, 21.6x over 8-GPU)",
+		Table:   b.String(),
+		Metrics: metrics,
+	}
+}
+
+// Fig18 reproduces Figure 18: the 8-GPU system at its best batch size vs
+// the 256-NDP system at batch 256 — throughput and performance per watt.
+func Fig18() Result {
+	s := sim.DefaultSystem()
+	g := gpu.DGX1()
+	var b strings.Builder
+	metrics := map[string]float64{}
+	var perfRatioSum, ppwRatioSum float64
+	fmt.Fprintf(&b, "%-15s %10s %12s %12s %12s %12s\n", "network", "best batch", "gpu img/s", "ndp img/s", "gpu img/s/W", "ndp img/s/W")
+	for _, net := range model.AllNetworks() {
+		batch, gpuIPS := g.BestBatch(net, 8, 4096)
+		ndp := s.SimulateNetwork(net, sim.WMpFull)
+		gpuPower := g.SystemPowerW(8)
+		ndpPower := ndp.PowerW
+		fmt.Fprintf(&b, "%-15s %10d %12.1f %12.1f %12.4f %12.4f\n",
+			net.Name, batch, gpuIPS, ndp.ImagesPerSec, gpuIPS/gpuPower, ndp.ImagesPerSec/ndpPower)
+		perfRatioSum += ndp.ImagesPerSec / gpuIPS
+		ppwRatioSum += (ndp.ImagesPerSec / ndpPower) / (gpuIPS / gpuPower)
+		metrics[net.Name+"/ndp_over_gpu_perf"] = ndp.ImagesPerSec / gpuIPS
+		metrics[net.Name+"/ndp_over_gpu_ppw"] = (ndp.ImagesPerSec / ndpPower) / (gpuIPS / gpuPower)
+	}
+	n := float64(len(model.AllNetworks()))
+	metrics["avg_perf_ratio"] = perfRatioSum / n
+	metrics["avg_ppw_ratio"] = ppwRatioSum / n
+	fmt.Fprintf(&b, "AVG ndp/gpu: perf %.1fx, perf/W %.1fx\n", metrics["avg_perf_ratio"], metrics["avg_ppw_ratio"])
+	return Result{
+		ID:      "fig18",
+		Title:   "Fig. 18: best-batch 8-GPU vs 256-NDP (paper: 9.5x perf/W for NDP)",
+		Table:   b.String(),
+		Metrics: metrics,
+	}
+}

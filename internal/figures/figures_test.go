@@ -1,0 +1,143 @@
+package figures
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllFiguresProduceTablesAndMetrics runs every generator (including
+// the slow numeric ones) and checks structural validity.
+func TestAllFiguresProduceTablesAndMetrics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figures regeneration is slow")
+	}
+	seen := map[string]bool{}
+	for _, r := range All() {
+		if r.ID == "" || r.Title == "" {
+			t.Fatalf("figure missing identity: %+v", r)
+		}
+		if seen[r.ID] {
+			t.Fatalf("duplicate figure id %q", r.ID)
+		}
+		seen[r.ID] = true
+		if len(strings.TrimSpace(r.Table)) == 0 {
+			t.Fatalf("%s: empty table", r.ID)
+		}
+		if len(r.Metrics) == 0 {
+			t.Fatalf("%s: no metrics", r.ID)
+		}
+		for k, v := range r.Metrics {
+			if v != v { // NaN
+				t.Fatalf("%s: metric %q is NaN", r.ID, k)
+			}
+		}
+		if !strings.Contains(Render(r), r.ID) {
+			t.Fatalf("%s: Render missing id", r.ID)
+		}
+	}
+	want := []string{"table1", "table2", "table3", "table4",
+		"fig01", "fig06", "fig07", "fig12", "fig14", "fig15", "fig16", "fig17", "fig18", "noc"}
+	for _, id := range want {
+		if !seen[id] {
+			t.Fatalf("figure %s missing from All()", id)
+		}
+	}
+}
+
+// TestFastFiguresDeterministic: the analytic figures must be bit-identical
+// across runs (the numeric ones are seeded and tested in their packages).
+func TestFastFiguresDeterministic(t *testing.T) {
+	for _, gen := range []func() Result{Fig01, Fig06, Fig07, Fig15, Fig16, Fig17, Fig18} {
+		a, b := gen(), gen()
+		if a.Table != b.Table {
+			t.Fatalf("%s: non-deterministic table", a.ID)
+		}
+		for k, v := range a.Metrics {
+			if b.Metrics[k] != v {
+				t.Fatalf("%s: metric %q differs across runs", a.ID, k)
+			}
+		}
+	}
+}
+
+// TestFig15HeadlineShape asserts the qualitative Fig. 15 claims on the
+// regenerated metrics.
+func TestFig15HeadlineShape(t *testing.T) {
+	r := Fig15()
+	if r.Metrics["avg_speedup_wmpfull"] < 1.5 {
+		t.Fatalf("w_mp++ average speedup %v too small", r.Metrics["avg_speedup_wmpfull"])
+	}
+	if r.Metrics["late_speedup_wmppred"] <= r.Metrics["mid_speedup_wmppred"] {
+		t.Fatal("late layers must gain more than mid layers")
+	}
+}
+
+// TestFig17HeadlineShape asserts who-wins ordering for the whole-CNN
+// comparison.
+func TestFig17HeadlineShape(t *testing.T) {
+	r := Fig17()
+	if r.Metrics["avg_wmpfull_over_wdp"] < 1.5 {
+		t.Fatalf("w_mp++/w_dp = %v, want > 1.5", r.Metrics["avg_wmpfull_over_wdp"])
+	}
+	if r.Metrics["avg_wmpfull_over_8gpu"] < 2 {
+		t.Fatalf("w_mp++/8-GPU = %v, want > 2", r.Metrics["avg_wmpfull_over_8gpu"])
+	}
+	// GPU scaling must be sub-linear for every network.
+	for _, net := range []string{"WRN-40-10", "ResNet-34", "FractalNet-4x4"} {
+		if r.Metrics[net+"/gpu8"] >= 8*r.Metrics[net+"/gpu1"] {
+			t.Fatalf("%s: GPU scaling not sub-linear", net)
+		}
+	}
+}
+
+// TestFig12NoFalseNegativesAnywhere: every quantization setting in the
+// regenerated Fig. 12 must report zero false negatives.
+func TestFig12NoFalseNegatives(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	r := Fig12()
+	for k, v := range r.Metrics {
+		if strings.HasSuffix(k, "_false_neg") && v != 0 {
+			t.Fatalf("%s = %v", k, v)
+		}
+	}
+	// 1-D must beat 2-D at the headline settings.
+	for _, ds := range []string{"cifar", "imagenet"} {
+		if r.Metrics[ds+"_gather1D"] <= r.Metrics[ds+"_gather2D"] {
+			t.Fatalf("%s: 1-D skip not better than 2-D", ds)
+		}
+	}
+}
+
+// TestFig14Equivalence: the regenerated modified-join run must show
+// negligible trajectory divergence.
+func TestFig14Equivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	r := Fig14()
+	if r.Metrics["max_loss_diff"] > 1e-4 {
+		t.Fatalf("join trajectories diverged by %v", r.Metrics["max_loss_diff"])
+	}
+}
+
+// TestNoCValidationRatios: the flit-level simulator must sit at or above
+// the analytic bounds, within the documented factors.
+func TestNoCValidationRatios(t *testing.T) {
+	r := NoCValidation()
+	if r.Metrics["ring_ratio"] < 0.8 || r.Metrics["ring_ratio"] > 1.5 {
+		t.Fatalf("ring ratio %v outside [0.8,1.5]", r.Metrics["ring_ratio"])
+	}
+	if r.Metrics["a2a_ratio"] < 1.0 || r.Metrics["a2a_ratio"] > 4.0 {
+		t.Fatalf("all-to-all ratio %v outside [1,4]", r.Metrics["a2a_ratio"])
+	}
+}
+
+func TestIsqrt(t *testing.T) {
+	for _, c := range []struct{ in, want int }{{1, 1}, {4, 2}, {16, 4}, {256, 16}, {5, 3}} {
+		if got := isqrt(c.in); got != c.want {
+			t.Fatalf("isqrt(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package figures
+
+import (
+	"fmt"
+	"strings"
+
+	"mptwino/internal/model"
+	"mptwino/internal/ndp"
+	"mptwino/internal/sim"
+)
+
+// TableI reproduces Table I: the three CNNs of the whole-network
+// evaluation with their parameter sizes.
+func TableI() Result {
+	var b strings.Builder
+	metrics := map[string]float64{}
+	fmt.Fprintf(&b, "%-15s %-24s %10s %14s\n", "network", "configuration", "batch", "3x3 params")
+	configs := map[string]string{
+		"WRN-40-10":      "WRN-40-10 (CIFAR geometry)",
+		"ResNet-34":      "[3,4,6,3] basic blocks",
+		"FractalNet-4x4": "4 blocks, 4 columns",
+	}
+	for _, net := range model.AllNetworks() {
+		pc := float64(net.ParamCount())
+		fmt.Fprintf(&b, "%-15s %-24s %10d %13.1fM\n", net.Name, configs[net.Name], net.Batch, pc/1e6)
+		metrics[net.Name+"_params_M"] = pc / 1e6
+	}
+	fmt.Fprintf(&b, "paper: WRN-40-10 55.6M; FractalNet 164M (reconstruction, DESIGN.md §2)\n")
+	return Result{ID: "table1", Title: "Table I: CNNs used in the whole-network evaluation", Table: b.String(), Metrics: metrics}
+}
+
+// TableII reproduces Table II: the five typical convolution layers
+// (reconstructed — see DESIGN.md §2).
+func TableII() Result {
+	var b strings.Builder
+	metrics := map[string]float64{}
+	fmt.Fprintf(&b, "%-8s %10s %10s %10s %8s\n", "layer", "fmap", "in ch", "out ch", "kernel")
+	for _, l := range model.FiveLayers() {
+		fmt.Fprintf(&b, "%-8s %7dx%-3d %10d %10d %5dx%d\n",
+			l.Name, l.P.H, l.P.W, l.P.In, l.P.Out, l.P.K, l.P.K)
+		metrics[l.Name+"_h"] = float64(l.P.H)
+	}
+	fmt.Fprintf(&b, "batch 256; the 5x5 variant (Fig. 16) replaces every kernel with 5x5/pad 2\n")
+	return Result{ID: "table2", Title: "Table II: five typical convolution layers (reconstructed)", Table: b.String(), Metrics: metrics}
+}
+
+// TableIII reproduces Table III: the simulated system configuration.
+func TableIII() Result {
+	var b strings.Builder
+	cfg := ndp.DefaultConfig()
+	sys := sim.DefaultSystem()
+	fmt.Fprintf(&b, "router clock        %.1f GHz\n", cfg.ClockHz/1e9)
+	fmt.Fprintf(&b, "full link           16 lanes x 15 Gbps = 30 GB/s/dir\n")
+	fmt.Fprintf(&b, "narrow link         8 lanes x 10 Gbps = 10 GB/s/dir\n")
+	fmt.Fprintf(&b, "topology            ring (groups) + FBFLY (clusters), minimal routing\n")
+	fmt.Fprintf(&b, "SerDes latency      %.0f ns/hop\n", sys.SerDesSec*1e9)
+	fmt.Fprintf(&b, "collective packet   %d B chunks; other packets 64 B\n", sys.ChunkBytes)
+	fmt.Fprintf(&b, "DRAM                %.0f GB/s (FR-FCFS eff. %.0f%%)\n", cfg.DRAMBw/1e9, cfg.DRAMEff*100)
+	fmt.Fprintf(&b, "systolic array      %dx%d FP32 MACs @%.0f GHz (96x96 FP16 variant)\n",
+		cfg.SystolicDim, cfg.SystolicDim, cfg.ClockHz/1e9)
+	fmt.Fprintf(&b, "SRAM                2x%d KB input (double-buffered), %d KB output\n",
+		cfg.InputBufBytes>>10, cfg.OutputBufBytes>>10)
+	fmt.Fprintf(&b, "workers             %d memory modules\n", sys.Workers)
+	return Result{
+		ID:    "table3",
+		Title: "Table III: simulated system configuration",
+		Table: b.String(),
+		Metrics: map[string]float64{
+			"workers":  float64(sys.Workers),
+			"dram_gbs": cfg.DRAMBw / 1e9,
+		},
+	}
+}
+
+// TableIV reproduces Table IV: the evaluated system configurations.
+func TableIV() Result {
+	var b strings.Builder
+	desc := map[sim.SystemConfig]string{
+		sim.DDp:     "direct convolution, data parallelism (update w)",
+		sim.WDp:     "Winograd convolution, data parallelism (update w)",
+		sim.WMp:     "Winograd + MPT at fixed (16,16) (update W)",
+		sim.WMpPred: "w_mp + activation prediction / zero-skipping",
+		sim.WMpDyn:  "w_mp + dynamic clustering",
+		sim.WMpFull: "w_mp + prediction/zero-skip + dynamic clustering",
+	}
+	fmt.Fprintf(&b, "%-7s %s\n", "abbr", "system configuration")
+	for _, c := range sim.AllConfigs() {
+		fmt.Fprintf(&b, "%-7s %s\n", c, desc[c])
+	}
+	return Result{
+		ID:      "table4",
+		Title:   "Table IV: evaluated system configurations",
+		Table:   b.String(),
+		Metrics: map[string]float64{"configs": float64(len(sim.AllConfigs()))},
+	}
+}

@@ -1,0 +1,101 @@
+// Package gpu is the analytic multi-GPU baseline standing in for the
+// paper's measured DGX-1 (8× V100) system (Section VII-C). It models the
+// two effects Fig. 17 depends on: per-GPU compute shrinking as the fixed
+// total batch is split across more GPUs, and the weight-gradient ring
+// all-reduce whose per-GPU traffic stays nearly constant — producing the
+// sub-linear scaling the paper measures.
+package gpu
+
+import "mptwino/internal/model"
+
+// Config describes one GPU and the multi-GPU fabric.
+type Config struct {
+	Name string
+
+	// PeakFLOPS is the per-GPU peak (V100 tensor cores: 125 TFLOPS FP16).
+	PeakFLOPS float64
+	// Utilization is the achieved fraction of peak on convolution training
+	// kernels (cuDNN Winograd/implicit-GEMM with TensorFlow overheads).
+	Utilization float64
+	// AllReduceBW is the effective per-GPU bus bandwidth of the NCCL ring
+	// all-reduce over NVLink (6 links, 6 rings when all 8 GPUs are used).
+	AllReduceBW float64
+	// LaunchOverheadSec is charged once per layer per phase (kernel launch
+	// + framework dispatch).
+	LaunchOverheadSec float64
+	// BytesPerParam is the gradient payload width (FP16 training: 2).
+	BytesPerParam int
+	// BoardPowerW is the per-GPU power draw under load.
+	BoardPowerW float64
+}
+
+// DGX1 returns the paper's comparison system: V100 GPUs with NVLink,
+// TensorFlow 1.4 + cuDNN 7 + NCCL, FP16 tensor-core training.
+func DGX1() Config {
+	return Config{
+		Name:              "DGX-1 V100",
+		PeakFLOPS:         125e12,
+		Utilization:       0.35,
+		AllReduceBW:       60e9,
+		LaunchOverheadSec: 15e-6,
+		BytesPerParam:     2,
+		BoardPowerW:       300,
+	}
+}
+
+// layerFLOPs returns the training FLOPs of one layer at the given batch:
+// fprop + bprop + updateGrad ≈ 3 × (2 MACs per output tap).
+func layerFLOPs(l model.Layer, batch int) float64 {
+	p := l.P
+	macs := float64(batch) * float64(p.OutH()) * float64(p.OutW()) *
+		float64(p.In) * float64(p.Out) * float64(p.K*p.K)
+	return 3 * 2 * macs
+}
+
+// IterationSec returns the data-parallel training iteration time of net on
+// gpus GPUs at the given total batch size.
+func (c Config) IterationSec(net model.Network, gpus, batch int) float64 {
+	if gpus < 1 {
+		panic("gpu: need at least one GPU")
+	}
+	var total float64
+	for _, l := range net.Layers {
+		rep := float64(l.EffectiveRepeat())
+		compute := layerFLOPs(l, batch) / float64(gpus) / (c.PeakFLOPS * c.Utilization)
+		coll := 0.0
+		if gpus > 1 {
+			grad := float64(l.P.In*l.P.Out*l.P.K*l.P.K) * float64(c.BytesPerParam)
+			coll = 2 * grad * float64(gpus-1) / float64(gpus) / c.AllReduceBW
+		}
+		total += rep * (compute + coll + 3*c.LaunchOverheadSec)
+	}
+	return total
+}
+
+// ImagesPerSec returns training throughput.
+func (c Config) ImagesPerSec(net model.Network, gpus, batch int) float64 {
+	return float64(batch) / c.IterationSec(net, gpus, batch)
+}
+
+// BestBatch sweeps total batch sizes (powers of two from the network's
+// default up to maxBatch) and returns the batch with the highest
+// throughput — the Fig. 18 protocol ("we increased the batch size for the
+// multi-GPU system and selected the batch size that resulted in the best
+// performance").
+func (c Config) BestBatch(net model.Network, gpus, maxBatch int) (batch int, imagesPerSec float64) {
+	best, bestIPS := net.Batch, 0.0
+	for b := net.Batch; b <= maxBatch; b *= 2 {
+		ips := c.ImagesPerSec(net, gpus, b)
+		if ips > bestIPS {
+			best, bestIPS = b, ips
+		}
+	}
+	return best, bestIPS
+}
+
+// SystemPowerW returns the power of a gpus-GPU system including a fixed
+// host share (CPUs, memory, fans — the DGX-1 chassis).
+func (c Config) SystemPowerW(gpus int) float64 {
+	const hostShareW = 400
+	return float64(gpus)*c.BoardPowerW + hostShareW
+}

@@ -1,0 +1,100 @@
+package gpu
+
+import (
+	"testing"
+
+	"mptwino/internal/model"
+)
+
+func TestIterationTimePositiveAndMonotone(t *testing.T) {
+	c := DGX1()
+	net := model.ResNet34()
+	t1 := c.IterationSec(net, 1, 256)
+	t8 := c.IterationSec(net, 8, 256)
+	if t1 <= 0 || t8 <= 0 {
+		t.Fatal("non-positive iteration time")
+	}
+	if t8 >= t1 {
+		t.Fatal("more GPUs should not be slower")
+	}
+}
+
+// TestSubLinearScaling reproduces Fig. 17's GPU curve: at fixed batch 256,
+// 8 GPUs deliver clearly less than 8× the 1-GPU throughput because the
+// all-reduce does not shrink.
+func TestSubLinearScaling(t *testing.T) {
+	c := DGX1()
+	for _, net := range model.AllNetworks() {
+		s1 := c.ImagesPerSec(net, 1, net.Batch)
+		s8 := c.ImagesPerSec(net, 8, net.Batch)
+		scaling := s8 / s1
+		if scaling >= 8 {
+			t.Fatalf("%s: scaling %v not sub-linear", net.Name, scaling)
+		}
+		if scaling < 1.5 {
+			t.Fatalf("%s: scaling %v implausibly poor", net.Name, scaling)
+		}
+	}
+}
+
+// TestLargerBatchScalesBetter: Fig. 18's premise — growing the batch
+// amortizes the collective and improves 8-GPU throughput.
+func TestLargerBatchScalesBetter(t *testing.T) {
+	c := DGX1()
+	net := model.FractalNet44()
+	small := c.ImagesPerSec(net, 8, 256)
+	large := c.ImagesPerSec(net, 8, 4096)
+	if large <= small {
+		t.Fatalf("batch 4096 (%v img/s) should beat 256 (%v img/s)", large, small)
+	}
+	b, ips := c.BestBatch(net, 8, 4096)
+	if b < 1024 {
+		t.Fatalf("best batch %d, expected >= 1024 (paper used 2K-4K)", b)
+	}
+	if ips < large*0.999 {
+		t.Fatalf("BestBatch throughput %v below direct evaluation %v", ips, large)
+	}
+}
+
+func TestWeightHeavyNetworksPayMoreCollective(t *testing.T) {
+	c := DGX1()
+	// FractalNet (≈180M params) must spend a larger fraction of its 8-GPU
+	// iteration in the all-reduce than ResNet-34 (≈21M params). Measure by
+	// disabling the collective (infinite bus bandwidth) and comparing.
+	collShare := func(net model.Network) float64 {
+		withColl := c.IterationSec(net, 8, 256)
+		free := c
+		free.AllReduceBW = 1e30
+		without := free.IterationSec(net, 8, 256)
+		return (withColl - without) / withColl
+	}
+	fn := collShare(model.FractalNet44())
+	rn := collShare(model.ResNet34())
+	if fn <= rn {
+		t.Fatalf("FractalNet collective share %v should exceed ResNet-34's %v", fn, rn)
+	}
+	if fn <= 0 {
+		t.Fatal("collective share must be positive")
+	}
+}
+
+func TestSystemPower(t *testing.T) {
+	c := DGX1()
+	if c.SystemPowerW(8) <= c.SystemPowerW(1) {
+		t.Fatal("power must grow with GPUs")
+	}
+	// 8 GPUs land in the paper's 1800-2600 W comparison window.
+	p := c.SystemPowerW(8)
+	if p < 1800 || p > 3200 {
+		t.Fatalf("8-GPU power %v W outside plausible window", p)
+	}
+}
+
+func TestIterationPanicsOnZeroGPUs(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("0 GPUs accepted")
+		}
+	}()
+	DGX1().IterationSec(model.ResNet34(), 0, 256)
+}

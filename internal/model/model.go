@@ -1,0 +1,181 @@
+// Package model catalogs the CNN workloads of the paper's evaluation as
+// layer-geometry lists: the five typical convolution layers of Table II and
+// the three full CNNs of Table I (WRN-40-10, ResNet-34, FractalNet with 4
+// blocks and 4 columns). The catalog carries only shapes — the numeric
+// training of small networks lives in internal/nn; these full-size shapes
+// feed the communication model and the system simulator.
+//
+// Table II's body did not survive in the available text of the paper, so
+// the five layers are reconstructed as a standard VGG-style progression
+// that preserves the roles the text describes (early = large feature maps
+// with small weights, late = small feature maps with large weights); see
+// DESIGN.md §2.
+package model
+
+import "mptwino/internal/conv"
+
+// Layer is one convolution layer of a workload.
+type Layer struct {
+	Name string
+	P    conv.Params
+	// Repeat counts identical back-to-back layers (they contribute
+	// Repeat× to every cost).
+	Repeat int
+	// GatherScale scales this layer's tile-gathering volume; FractalNet's
+	// modified (Winograd-domain) join lets several columns' outputs merge
+	// before a single inverse transform, halving gathers at join points
+	// (Fig. 14 discussion).
+	GatherScale float64
+}
+
+// EffectiveRepeat returns Repeat, defaulting to 1.
+func (l Layer) EffectiveRepeat() int {
+	if l.Repeat <= 0 {
+		return 1
+	}
+	return l.Repeat
+}
+
+// EffectiveGatherScale returns GatherScale, defaulting to 1.
+func (l Layer) EffectiveGatherScale() float64 {
+	if l.GatherScale <= 0 {
+		return 1
+	}
+	return l.GatherScale
+}
+
+// Network is a named list of convolution layers trained with a fixed batch.
+type Network struct {
+	Name   string
+	Batch  int
+	Layers []Layer
+}
+
+// conv3 builds a same-padded 3×3 layer spec.
+func conv3(name string, in, out, hw, repeat int) Layer {
+	return Layer{
+		Name:   name,
+		Repeat: repeat,
+		P:      conv.Params{In: in, Out: out, K: 3, Pad: 1, H: hw, W: hw},
+	}
+}
+
+// FiveLayers returns the Table II reconstruction: five typical 3×3
+// convolution layers spanning the early/mid/late regimes of an
+// ImageNet-body CNN (56² after the stem down to 7², widths 64→1024 as in
+// FractalNet's last block), batch 256. The octave placement is chosen so
+// the layer classes reproduce the paper's Fig. 15 narrative: early layers
+// tile-transfer-bound (dynamic clustering falls back to data parallelism),
+// late layers weight-collective-bound (MPT wins big), mid layers near the
+// crossover.
+func FiveLayers() []Layer {
+	return []Layer{
+		conv3("Early", 64, 128, 56, 1),
+		conv3("Mid-1", 128, 256, 28, 1),
+		conv3("Mid-2", 256, 512, 14, 1),
+		conv3("Late-1", 512, 512, 7, 1),
+		conv3("Late-2", 512, 1024, 7, 1),
+	}
+}
+
+// FiveLayers5x5 returns the same five layers with 5×5 kernels — the
+// Fig. 16 variant evaluated with F(2×2,5×5).
+func FiveLayers5x5() []Layer {
+	out := FiveLayers()
+	for i := range out {
+		out[i].P.K = 5
+		out[i].P.Pad = 2
+	}
+	return out
+}
+
+// WRN40x10 returns Wide ResNet WRN-40-10 on CIFAR (32×32 input): an
+// initial 3×3 conv plus three groups of 6 basic blocks (2 convs each) at
+// widths 160/320/640 and resolutions 32/16/8 — ≈55.5M parameters, matching
+// Table I.
+func WRN40x10() Network {
+	layers := []Layer{conv3("conv1", 3, 16, 32, 1)}
+	groups := []struct {
+		in, width, hw int
+	}{
+		{16, 160, 32},
+		{160, 320, 16},
+		{320, 640, 8},
+	}
+	for gi, g := range groups {
+		// First block adapts the channel count, the rest are width×width.
+		layers = append(layers,
+			conv3(groupName("g", gi, "b0c0"), g.in, g.width, g.hw, 1),
+			conv3(groupName("g", gi, "b0c1"), g.width, g.width, g.hw, 1),
+			conv3(groupName("g", gi, "rest"), g.width, g.width, g.hw, 10),
+		)
+	}
+	return Network{Name: "WRN-40-10", Batch: 256, Layers: layers}
+}
+
+// ResNet34 returns ResNet-34 on ImageNet geometry: four stages of basic
+// blocks ([3,4,6,3]) at 56/28/14/7 resolution and 64–512 channels. The 7×7
+// stem and the 1×1 downsample shortcuts are omitted (not Winograd-eligible
+// and negligible next to the 3×3 volume).
+func ResNet34() Network {
+	var layers []Layer
+	stages := []struct {
+		in, out, hw, blocks int
+	}{
+		{64, 64, 56, 3},
+		{64, 128, 28, 4},
+		{128, 256, 14, 6},
+		{256, 512, 7, 3},
+	}
+	for si, s := range stages {
+		layers = append(layers,
+			conv3(groupName("s", si, "b0c0"), s.in, s.out, s.hw, 1),
+			conv3(groupName("s", si, "rest"), s.out, s.out, s.hw, 2*s.blocks-1),
+		)
+	}
+	return Network{Name: "ResNet-34", Batch: 256, Layers: layers}
+}
+
+// FractalNet44 returns FractalNet with 4 blocks and 4 columns on ImageNet
+// geometry (Table I: ≈164M parameters). Each block holds 2⁴−1 = 15 convs;
+// join layers merge columns, and with the paper's modified join (mean in
+// the Winograd domain, Fig. 14) joined outputs share one inverse transform
+// — modeled as GatherScale 0.5 on the layers feeding joins.
+func FractalNet44() Network {
+	var layers []Layer
+	blocks := []struct {
+		in, out, hw int
+	}{
+		{64, 128, 56},
+		{128, 256, 28},
+		{256, 512, 14},
+		{512, 1024, 7},
+	}
+	for bi, b := range blocks {
+		first := conv3(groupName("b", bi, "c0"), b.in, b.out, b.hw, 1)
+		rest := conv3(groupName("b", bi, "rest"), b.out, b.out, b.hw, 14)
+		// Half of a fractal block's convs feed a join; the modified join
+		// gathers once per join instead of once per column.
+		rest.GatherScale = 0.5
+		layers = append(layers, first, rest)
+	}
+	return Network{Name: "FractalNet-4x4", Batch: 256, Layers: layers}
+}
+
+// AllNetworks returns the three Table I CNNs.
+func AllNetworks() []Network {
+	return []Network{WRN40x10(), ResNet34(), FractalNet44()}
+}
+
+// ParamCount returns the spatial-domain parameter count of a network.
+func (n Network) ParamCount() int64 {
+	var total int64
+	for _, l := range n.Layers {
+		total += int64(l.EffectiveRepeat()) * int64(l.P.In) * int64(l.P.Out) * int64(l.P.K) * int64(l.P.K)
+	}
+	return total
+}
+
+func groupName(prefix string, i int, suffix string) string {
+	return prefix + string(rune('0'+i)) + "-" + suffix
+}

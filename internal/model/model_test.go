@@ -1,0 +1,96 @@
+package model
+
+import (
+	"testing"
+
+	"mptwino/internal/winograd"
+)
+
+func TestAllLayersValidate(t *testing.T) {
+	check := func(name string, layers []Layer) {
+		t.Helper()
+		for _, l := range layers {
+			if err := l.P.Validate(); err != nil {
+				t.Fatalf("%s/%s: %v", name, l.Name, err)
+			}
+			if _, err := winograd.ForKernel(l.P.K, 16); err != nil {
+				t.Fatalf("%s/%s: no transform for k=%d", name, l.Name, l.P.K)
+			}
+		}
+	}
+	check("five", FiveLayers())
+	check("five5x5", FiveLayers5x5())
+	for _, net := range AllNetworks() {
+		check(net.Name, net.Layers)
+		if net.Batch <= 0 {
+			t.Fatalf("%s: bad batch %d", net.Name, net.Batch)
+		}
+	}
+}
+
+func TestFiveLayersMonotoneGeometry(t *testing.T) {
+	layers := FiveLayers()
+	for i := 1; i < len(layers); i++ {
+		if layers[i].P.H > layers[i-1].P.H {
+			t.Fatal("feature maps must shrink toward late layers")
+		}
+		if layers[i].P.In < layers[i-1].P.In {
+			t.Fatal("channel counts must grow toward late layers")
+		}
+	}
+	// Early has the largest feature map and smallest weights; Late-2 the
+	// reverse — the Table II roles the text describes.
+	early, late := layers[0].P, layers[4].P
+	if early.H*early.W <= late.H*late.W {
+		t.Fatal("early feature map not largest")
+	}
+	if early.In*early.Out >= late.In*late.Out {
+		t.Fatal("late weights not largest")
+	}
+}
+
+func TestEffectiveDefaults(t *testing.T) {
+	l := Layer{}
+	if l.EffectiveRepeat() != 1 {
+		t.Fatal("default repeat should be 1")
+	}
+	if l.EffectiveGatherScale() != 1 {
+		t.Fatal("default gather scale should be 1")
+	}
+	l.Repeat = 5
+	l.GatherScale = 0.5
+	if l.EffectiveRepeat() != 5 || l.EffectiveGatherScale() != 0.5 {
+		t.Fatal("explicit values not honored")
+	}
+}
+
+func TestFractalNetHasModifiedJoinScaling(t *testing.T) {
+	fn := FractalNet44()
+	found := false
+	for _, l := range fn.Layers {
+		if l.EffectiveGatherScale() < 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("FractalNet should carry modified-join gather scaling")
+	}
+	// The other networks should not.
+	for _, net := range []Network{WRN40x10(), ResNet34()} {
+		for _, l := range net.Layers {
+			if l.EffectiveGatherScale() != 1 {
+				t.Fatalf("%s/%s has unexpected gather scaling", net.Name, l.Name)
+			}
+		}
+	}
+}
+
+func TestParamCountLinearInRepeat(t *testing.T) {
+	l := Layer{Name: "x", P: FiveLayers()[4].P}
+	n1 := Network{Name: "a", Batch: 1, Layers: []Layer{l}}
+	l.Repeat = 4
+	n4 := Network{Name: "b", Batch: 1, Layers: []Layer{l}}
+	if n4.ParamCount() != 4*n1.ParamCount() {
+		t.Fatal("ParamCount not linear in Repeat")
+	}
+}

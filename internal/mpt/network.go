@@ -1,0 +1,136 @@
+package mpt
+
+import (
+	"fmt"
+
+	"mptwino/internal/conv"
+	"mptwino/internal/tensor"
+	"mptwino/internal/winograd"
+)
+
+// Net is a multi-layer CNN whose every convolution runs distributed on the
+// MPT engine, with ReLU between layers (and a linear final layer). It
+// demonstrates — and its tests prove — that a whole network trains under
+// MPT exactly as it would on one worker, layer chaining, activation
+// masking and per-layer collectives included.
+type Net struct {
+	Cfg     Config
+	Engines []*Engine
+	masks   [][]bool // ReLU masks per hidden layer, from the last forward
+}
+
+// NewNet builds engines for each geometry in params; layer i's output
+// channels must match layer i+1's input channels, and all spatial sizes
+// must chain (same-padded layers keep H×W).
+func NewNet(tr *winograd.Transform, params []conv.Params, cfg Config, rng *tensor.RNG) (*Net, error) {
+	if len(params) == 0 {
+		return nil, fmt.Errorf("mpt: empty network")
+	}
+	n := &Net{Cfg: cfg}
+	for i, p := range params {
+		if i > 0 {
+			prev := params[i-1]
+			if p.In != prev.Out || p.H != prev.OutH() || p.W != prev.OutW() {
+				return nil, fmt.Errorf("mpt: layer %d input %dx%dx%d does not chain from layer %d output %dx%dx%d",
+					i, p.In, p.H, p.W, i-1, prev.Out, prev.OutH(), prev.OutW())
+			}
+		}
+		e, err := NewEngine(tr, p, cfg, rng)
+		if err != nil {
+			return nil, err
+		}
+		n.Engines = append(n.Engines, e)
+	}
+	return n, nil
+}
+
+// Forward runs the distributed forward pass: ReLU after every layer except
+// the last.
+func (n *Net) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
+	n.masks = n.masks[:0]
+	for i, e := range n.Engines {
+		y, err := e.Fprop(x)
+		if err != nil {
+			return nil, err
+		}
+		if i < len(n.Engines)-1 {
+			mask := make([]bool, len(y.Data))
+			for j, v := range y.Data {
+				if v > 0 {
+					mask[j] = true
+				} else {
+					y.Data[j] = 0
+				}
+			}
+			n.masks = append(n.masks, mask)
+		}
+		x = y
+	}
+	return x, nil
+}
+
+// Backward runs the distributed backward pass from the loss gradient at
+// the network output, applying each layer's collective-reduced update with
+// learning rate lr. Forward must run first.
+func (n *Net) Backward(dy *tensor.Tensor, lr float32) error {
+	if len(n.masks) != len(n.Engines)-1 {
+		return fmt.Errorf("mpt: Backward before Forward")
+	}
+	for i := len(n.Engines) - 1; i >= 0; i-- {
+		e := n.Engines[i]
+		dw, err := e.UpdateGrad(dy)
+		if err != nil {
+			return err
+		}
+		if i > 0 {
+			dx, err := e.Bprop(dy)
+			if err != nil {
+				return err
+			}
+			mask := n.masks[i-1]
+			for j, live := range mask {
+				if !live {
+					dx.Data[j] = 0
+				}
+			}
+			dy = dx
+		}
+		e.Step(lr, dw)
+	}
+	n.masks = n.masks[:0]
+	return nil
+}
+
+// TrainStepMSE runs one SGD step against L = 0.5‖y − target‖², returning
+// the pre-update loss.
+func (n *Net) TrainStepMSE(x, target *tensor.Tensor, lr float32) (float64, error) {
+	y, err := n.Forward(x)
+	if err != nil {
+		return 0, err
+	}
+	if !y.SameShape(target) {
+		return 0, fmt.Errorf("mpt: target shape %s does not match output %s",
+			target.ShapeString(), y.ShapeString())
+	}
+	dy := y.Clone()
+	dy.AXPY(-1, target)
+	var loss float64
+	for _, v := range dy.Data {
+		loss += 0.5 * float64(v) * float64(v)
+	}
+	return loss, n.Backward(dy, lr)
+}
+
+// TotalTraffic sums the engines' traffic counters.
+func (n *Net) TotalTraffic() Traffic {
+	var t Traffic
+	for _, e := range n.Engines {
+		t.ScatterBytes += e.Traffic.ScatterBytes
+		t.GatherBytes += e.Traffic.GatherBytes
+		t.PredictBytes += e.Traffic.PredictBytes
+		t.CollectiveBytes += e.Traffic.CollectiveBytes
+		t.SkippedTiles += e.Traffic.SkippedTiles
+		t.TotalTiles += e.Traffic.TotalTiles
+	}
+	return t
+}

@@ -1,0 +1,204 @@
+package mpt
+
+import (
+	"math"
+	"testing"
+
+	"mptwino/internal/conv"
+	"mptwino/internal/tensor"
+	"mptwino/internal/winograd"
+)
+
+func chainParams() []conv.Params {
+	return []conv.Params{
+		{In: 2, Out: 4, K: 3, Pad: 1, H: 8, W: 8},
+		{In: 4, Out: 4, K: 3, Pad: 1, H: 8, W: 8},
+		{In: 4, Out: 2, K: 3, Pad: 1, H: 8, W: 8},
+	}
+}
+
+func TestNewNetValidation(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	if _, err := NewNet(winograd.F2x2_3x3, nil, Config{Ng: 1, Nc: 1}, rng); err == nil {
+		t.Fatal("empty network accepted")
+	}
+	bad := chainParams()
+	bad[1].In = 7 // breaks chaining
+	if _, err := NewNet(winograd.F2x2_3x3, bad, Config{Ng: 1, Nc: 1}, rng); err == nil {
+		t.Fatal("non-chaining layers accepted")
+	}
+}
+
+// singleWorkerNet mirrors Net with plain winograd.Layer forward/backward,
+// for equivalence checking.
+type singleWorkerNet struct {
+	layers []*winograd.Layer
+	masks  [][]bool
+}
+
+func (s *singleWorkerNet) forward(x *tensor.Tensor) *tensor.Tensor {
+	s.masks = s.masks[:0]
+	for i, l := range s.layers {
+		y := l.Fprop(x)
+		if i < len(s.layers)-1 {
+			mask := make([]bool, len(y.Data))
+			for j, v := range y.Data {
+				if v > 0 {
+					mask[j] = true
+				} else {
+					y.Data[j] = 0
+				}
+			}
+			s.masks = append(s.masks, mask)
+		}
+		x = y
+	}
+	return x
+}
+
+func (s *singleWorkerNet) backward(dy *tensor.Tensor, lr float32) {
+	for i := len(s.layers) - 1; i >= 0; i-- {
+		l := s.layers[i]
+		dw := l.UpdateGradW(dy)
+		if i > 0 {
+			dx := l.Bprop(dy)
+			for j, live := range s.masks[i-1] {
+				if !live {
+					dx.Data[j] = 0
+				}
+			}
+			dy = dx
+		}
+		l.Step(lr, dw)
+	}
+}
+
+// TestNetworkTrainingMatchesSingleWorker is the whole-network exactness
+// proof: several SGD steps of a 3-layer CNN distributed over a (4,4) MPT
+// grid keep every weight equal to the single-worker run.
+func TestNetworkTrainingMatchesSingleWorker(t *testing.T) {
+	params := chainParams()
+	net, err := NewNet(winograd.F2x2_3x3, params, Config{Ng: 4, Nc: 4}, tensor.NewRNG(55))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := &singleWorkerNet{}
+	for i, p := range params {
+		tl, err := winograd.NewTiling(winograd.F2x2_3x3, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref.layers = append(ref.layers, &winograd.Layer{Tiling: tl, W: net.Engines[i].Weights().Clone()})
+	}
+
+	rng := tensor.NewRNG(66)
+	x := tensor.New(8, 2, 8, 8)
+	target := tensor.New(8, 2, 8, 8)
+	rng.FillNormal(x, 0, 1)
+	rng.FillNormal(target, 0, 1)
+
+	for step := 0; step < 3; step++ {
+		lossD, err := net.TrainStepMSE(x, target, 0.005)
+		if err != nil {
+			t.Fatal(err)
+		}
+		y := ref.forward(x)
+		dy := y.Clone()
+		dy.AXPY(-1, target)
+		var lossS float64
+		for _, v := range dy.Data {
+			lossS += 0.5 * float64(v) * float64(v)
+		}
+		ref.backward(dy, 0.005)
+		if math.Abs(lossD-lossS) > 1e-3*(1+lossS) {
+			t.Fatalf("step %d: losses diverged %v vs %v", step, lossD, lossS)
+		}
+	}
+	for li := range params {
+		we := net.Engines[li].Weights()
+		ws := ref.layers[li].W
+		for el := range ws.El {
+			for i := range ws.El[el].Data {
+				if math.Abs(float64(we.El[el].Data[i]-ws.El[el].Data[i])) > 1e-3 {
+					t.Fatalf("layer %d element %d weight diverged", li, el)
+				}
+			}
+		}
+	}
+}
+
+func TestNetworkBackwardBeforeForwardErrors(t *testing.T) {
+	net, err := NewNet(winograd.F2x2_3x3, chainParams(), Config{Ng: 2, Nc: 2}, tensor.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Backward(tensor.New(4, 2, 8, 8), 0.01); err == nil {
+		t.Fatal("Backward before Forward accepted")
+	}
+}
+
+func TestNetworkTargetShapeMismatch(t *testing.T) {
+	net, err := NewNet(winograd.F2x2_3x3, chainParams(), Config{Ng: 2, Nc: 2}, tensor.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.New(4, 2, 8, 8)
+	badTarget := tensor.New(4, 3, 8, 8)
+	if _, err := net.TrainStepMSE(x, badTarget, 0.01); err == nil {
+		t.Fatal("target shape mismatch accepted")
+	}
+}
+
+func TestNetworkTrafficAggregation(t *testing.T) {
+	net, err := NewNet(winograd.F2x2_3x3, chainParams(), Config{Ng: 4, Nc: 2}, tensor.NewRNG(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := tensor.NewRNG(8)
+	x := tensor.New(4, 2, 8, 8)
+	target := tensor.New(4, 2, 8, 8)
+	rng.FillNormal(x, 0, 1)
+	rng.FillNormal(target, 0, 1)
+	if _, err := net.TrainStepMSE(x, target, 0.01); err != nil {
+		t.Fatal(err)
+	}
+	tr := net.TotalTraffic()
+	if tr.ScatterBytes <= 0 || tr.GatherBytes <= 0 || tr.CollectiveBytes <= 0 {
+		t.Fatalf("traffic not aggregated: %+v", tr)
+	}
+	// Per-engine traffic must sum to the total.
+	var sum int64
+	for _, e := range net.Engines {
+		sum += e.Traffic.ScatterBytes
+	}
+	if sum != tr.ScatterBytes {
+		t.Fatal("scatter aggregation mismatch")
+	}
+}
+
+// TestNetworkLossDecreases: the distributed network must actually learn.
+func TestNetworkLossDecreases(t *testing.T) {
+	net, err := NewNet(winograd.F2x2_3x3, chainParams(), Config{Ng: 4, Nc: 4}, tensor.NewRNG(99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := tensor.NewRNG(100)
+	x := tensor.New(8, 2, 8, 8)
+	target := tensor.New(8, 2, 8, 8)
+	rng.FillNormal(x, 0, 1)
+	rng.FillNormal(target, 0, 0.5)
+	first, err := net.TrainStepMSE(x, target, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last float64
+	for i := 0; i < 10; i++ {
+		last, err = net.TrainStepMSE(x, target, 0.01)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if last >= first {
+		t.Fatalf("distributed training did not descend: %v -> %v", first, last)
+	}
+}

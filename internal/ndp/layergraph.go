@@ -1,0 +1,125 @@
+package ndp
+
+import (
+	"fmt"
+
+	"mptwino/internal/conv"
+	"mptwino/internal/winograd"
+)
+
+// LayerGraphSpec describes one worker's share of a Winograd layer training
+// iteration under MPT, from which BuildLayerGraph derives the §VI-A task
+// graph ("the host builds a task graph of the given CNN structure ...
+// a single convolution layer can be composed of multiple task nodes").
+type LayerGraphSpec struct {
+	Tr    *winograd.Transform
+	P     conv.Params
+	Batch int
+	Ng    int // groups (this worker computes T²/Ng tile elements)
+	Nc    int // clusters (this worker holds 1/Nc of the batch)
+}
+
+// LayerGraph is the constructed per-worker graph plus the IDs of its
+// phase-boundary tasks, so callers (and tests) can reason about structure.
+type LayerGraph struct {
+	Graph TaskGraph
+
+	InputTransform int   // spatial → Winograd transform of the local shard
+	FwdDots        []int // one dot-product task per owned tile element
+	Gather         int   // tile gathering + inverse output transform
+	Activation     int   // ReLU/pooling on the vector unit
+	GradTransform  int   // dy → Winograd domain
+	BwdDots        []int // bprop dot products
+	GradDots       []int // updateGrad dot products
+	ReduceChunks   []int // pipelined collective chunks (256 B each → capped)
+}
+
+// BuildLayerGraph constructs the task graph one NDP worker executes for a
+// full training iteration (fprop, bprop, updateGrad) of the layer. Task
+// durations come from the worker's timing model; dependencies encode the
+// paper's update-counter scheme: dots wait on the input transform, the
+// gather waits on every dot, the backward phases wait on the (externally
+// produced) output gradient, and each collective chunk waits on all grad
+// dots.
+func BuildLayerGraph(cfg Config, spec LayerGraphSpec) (*LayerGraph, error) {
+	if spec.Ng < 1 || spec.Nc < 1 {
+		return nil, fmt.Errorf("ndp: bad MPT shape Ng=%d Nc=%d", spec.Ng, spec.Nc)
+	}
+	if err := spec.P.Validate(); err != nil {
+		return nil, err
+	}
+	tr := spec.Tr
+	if spec.P.K != tr.R {
+		return nil, fmt.Errorf("ndp: kernel %d does not match transform %s", spec.P.K, tr)
+	}
+	t2 := tr.T * tr.T
+	elems := (t2 + spec.Ng - 1) / spec.Ng
+	tilesH := (spec.P.OutH() + tr.M - 1) / tr.M
+	tilesW := (spec.P.OutW() + tr.M - 1) / tr.M
+	rows := int64(spec.Batch) * int64(tilesH) * int64(tilesW) / int64(spec.Nc)
+	if rows < 1 {
+		rows = 1
+	}
+
+	lg := &LayerGraph{}
+	g := &lg.Graph
+
+	// fprop: transform the local shard's inputs (vector unit + DRAM read
+	// of the spatial maps, write of the Winograd tiles).
+	inBytes := 4 * rows * int64(spec.P.In) * int64(t2)
+	transformCycles := cfg.VectorCycles(rows * int64(spec.P.In) * int64(t2*tr.T) * 2)
+	lg.InputTransform = g.Add("fprop/input-transform", transformCycles, 2*inBytes)
+
+	// One dot-product task per owned element: (rows×In)·(In×Out).
+	dotCycles := cfg.MatmulCycles(rows, int64(spec.P.In), int64(spec.P.Out))
+	wShard := 4 * int64(spec.P.In) * int64(spec.P.Out) * int64(t2) / int64(spec.Ng)
+	for e := 0; e < elems; e++ {
+		id := g.Add(fmt.Sprintf("fprop/dot-e%d", e), dotCycles,
+			inBytes/int64(elems)+wShard/int64(elems), lg.InputTransform)
+		lg.FwdDots = append(lg.FwdDots, id)
+	}
+
+	// Gather + inverse transform of the complete output tiles.
+	outBytes := 4 * rows * int64(spec.P.Out) * int64(t2)
+	invCycles := cfg.VectorCycles(rows * int64(spec.P.Out) * int64(tr.M*tr.T+tr.M*tr.M) * 2)
+	lg.Gather = g.Add("fprop/gather-inverse", invCycles, outBytes, lg.FwdDots...)
+
+	// Activation (+ pooling) on the spatial neurons.
+	actCycles := cfg.VectorCycles(rows * int64(spec.P.Out) * int64(tr.M*tr.M))
+	lg.Activation = g.Add("fprop/activation", actCycles, 0, lg.Gather)
+
+	// bprop: the output gradient arrives from the next layer; its
+	// transform depends on our forward activation having completed (the
+	// iteration's serialization point in a single-layer view).
+	lg.GradTransform = g.Add("bprop/grad-transform", transformCycles, 2*outBytes, lg.Activation)
+	bdotCycles := cfg.MatmulCycles(rows, int64(spec.P.Out), int64(spec.P.In))
+	gdotCycles := cfg.MatmulCycles(int64(spec.P.In), rows, int64(spec.P.Out))
+	for e := 0; e < elems; e++ {
+		id := g.Add(fmt.Sprintf("bprop/dot-e%d", e), bdotCycles,
+			outBytes/int64(elems)+wShard/int64(elems), lg.GradTransform)
+		lg.BwdDots = append(lg.BwdDots, id)
+		gid := g.Add(fmt.Sprintf("update/dot-e%d", e), gdotCycles,
+			(inBytes+outBytes)/int64(elems), lg.GradTransform, lg.InputTransform)
+		lg.GradDots = append(lg.GradDots, gid)
+	}
+
+	// Collective: the group's dW shard leaves in 256 B pipelined chunks;
+	// model the chunk stream as tasks gated on all grad dots (the paper's
+	// Reduce blocks let chunks of different messages interleave, so chunk
+	// count here is capped to keep graphs small while preserving the
+	// dependency structure).
+	chunks := int(wShard / 256)
+	if chunks < 1 {
+		chunks = 1
+	}
+	if chunks > 32 {
+		chunks = 32
+	}
+	chunkBytes := wShard / int64(chunks)
+	for c := 0; c < chunks; c++ {
+		id := g.Add(fmt.Sprintf("update/reduce-chunk%d", c),
+			cfg.VectorCycles(chunkBytes/4), chunkBytes, lg.GradDots...)
+		lg.ReduceChunks = append(lg.ReduceChunks, id)
+	}
+	return lg, nil
+}

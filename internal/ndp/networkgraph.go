@@ -1,0 +1,125 @@
+package ndp
+
+import (
+	"fmt"
+
+	"mptwino/internal/model"
+	"mptwino/internal/winograd"
+)
+
+// NetworkGraph chains per-layer task graphs into the full CNN training
+// graph the host builds at start-up (§VI-A): "feature maps may have
+// dependency to the previous layers, and weights may have dependency to
+// the previous iteration".
+type NetworkGraph struct {
+	Graph  TaskGraph
+	Layers []*LayerGraph // one per expanded layer instance, forward order
+}
+
+// BuildNetworkGraph expands a network's layers (honoring Repeat) into a
+// single per-worker task graph for `iterations` training iterations under
+// the (Ng, Nc) organization:
+//
+//   - each layer's input transform depends on the previous layer's
+//     activation (forward feature-map dependency);
+//   - each layer's grad transform depends on the *next* layer's backward
+//     dots (backward feature-map dependency), replacing the single-layer
+//     placeholder dependency;
+//   - each layer's forward dots in iteration i+1 depend on its collective
+//     chunks of iteration i (the weight dependency to the previous
+//     iteration).
+func BuildNetworkGraph(cfg Config, net model.Network, ng, nc, iterations int) (*NetworkGraph, error) {
+	if iterations < 1 {
+		return nil, fmt.Errorf("ndp: need at least one iteration")
+	}
+	out := &NetworkGraph{}
+	var prevIter []*LayerGraph
+	for it := 0; it < iterations; it++ {
+		var thisIter []*LayerGraph
+		layerIdx := 0
+		for _, l := range net.Layers {
+			for rep := 0; rep < l.EffectiveRepeat(); rep++ {
+				tr, err := winograd.ForKernel(l.P.K, ng)
+				if err != nil {
+					return nil, err
+				}
+				lg, err := buildLayerInto(&out.Graph, cfg, LayerGraphSpec{
+					Tr: tr, P: l.P, Batch: net.Batch, Ng: ng, Nc: nc,
+				})
+				if err != nil {
+					return nil, fmt.Errorf("ndp: layer %s: %w", l.Name, err)
+				}
+				// Forward chaining within the iteration.
+				if layerIdx > 0 {
+					prev := thisIter[layerIdx-1]
+					addDep(&out.Graph, lg.InputTransform, prev.Activation)
+				}
+				// Weight dependency to the previous iteration.
+				if prevIter != nil {
+					for _, d := range lg.FwdDots {
+						for _, c := range prevIter[layerIdx].ReduceChunks {
+							addDep(&out.Graph, d, c)
+						}
+					}
+				}
+				thisIter = append(thisIter, lg)
+				layerIdx++
+			}
+		}
+		// Backward chaining: layer i's grad transform waits for layer
+		// i+1's backward dots (the gradient flows backward).
+		for i := 0; i < len(thisIter)-1; i++ {
+			for _, bd := range thisIter[i+1].BwdDots {
+				addDep(&out.Graph, thisIter[i].GradTransform, bd)
+			}
+		}
+		out.Layers = append(out.Layers, thisIter...)
+		prevIter = thisIter
+	}
+	return out, nil
+}
+
+// addDep appends a dependency edge if not already present.
+func addDep(g *TaskGraph, task, dep int) {
+	for _, d := range g.Tasks[task].Deps {
+		if d == dep {
+			return
+		}
+	}
+	g.Tasks[task].Deps = append(g.Tasks[task].Deps, dep)
+}
+
+// buildLayerInto is BuildLayerGraph but appending into an existing graph,
+// so multiple layers share one ID space.
+func buildLayerInto(g *TaskGraph, cfg Config, spec LayerGraphSpec) (*LayerGraph, error) {
+	sub, err := BuildLayerGraph(cfg, spec)
+	if err != nil {
+		return nil, err
+	}
+	offset := len(g.Tasks)
+	for _, t := range sub.Graph.Tasks {
+		deps := make([]int, len(t.Deps))
+		for i, d := range t.Deps {
+			deps[i] = d + offset
+		}
+		g.Add(t.Name, t.Compute, t.DRAM, deps...)
+	}
+	shift := func(ids []int) []int {
+		out := make([]int, len(ids))
+		for i, id := range ids {
+			out[i] = id + offset
+		}
+		return out
+	}
+	return &LayerGraph{
+		Graph:          TaskGraph{}, // tasks live in the shared graph
+		InputTransform: sub.InputTransform + offset,
+		FwdDots:        shift(sub.FwdDots),
+		Gather:         sub.Gather + offset,
+		Activation:     sub.Activation + offset,
+		GradTransform:  sub.GradTransform + offset,
+		BwdDots:        shift(sub.BwdDots),
+		GradDots:       shift(sub.GradDots),
+		ReduceChunks:   shift(sub.ReduceChunks),
+	}, nil
+}

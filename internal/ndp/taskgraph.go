@@ -1,0 +1,105 @@
+package ndp
+
+import "fmt"
+
+// Task is one node of the control unit's task graph (Section VI-A): a
+// computation block sized to the systolic array, with data dependencies on
+// prior tasks. Durations are in cycles; DRAM traffic is streamed under
+// double buffering, so a task occupies the worker for
+// max(ComputeCycles, dramCycles).
+type Task struct {
+	ID      int
+	Name    string
+	Compute int64 // systolic/vector cycles
+	DRAM    int64 // bytes streamed to/from local DRAM
+	Deps    []int // IDs of tasks that must complete first
+
+	// Scheduling results, filled by Schedule.
+	Start, Finish int64
+}
+
+// TaskGraph is a per-worker DAG of tasks.
+type TaskGraph struct {
+	Tasks []*Task
+}
+
+// Add appends a task and returns its ID.
+func (g *TaskGraph) Add(name string, compute, dram int64, deps ...int) int {
+	id := len(g.Tasks)
+	g.Tasks = append(g.Tasks, &Task{ID: id, Name: name, Compute: compute, DRAM: dram, Deps: deps})
+	return id
+}
+
+// Schedule executes the graph on one worker with the paper's
+// update-counter dependency check: each task holds a counter of completed
+// predecessors and becomes ready when the counter reaches its dependency
+// count; the task scheduler then issues ready tasks in pre-defined (ID)
+// order, one at a time (the single systolic array serializes compute).
+// It returns the makespan in cycles or an error on a dependency cycle or
+// bad dependency ID.
+func (g *TaskGraph) Schedule(cfg Config) (int64, error) {
+	n := len(g.Tasks)
+	counters := make([]int, n)
+	dependents := make([][]int, n)
+	for _, t := range g.Tasks {
+		for _, d := range t.Deps {
+			if d < 0 || d >= n {
+				return 0, fmt.Errorf("ndp: task %d depends on unknown task %d", t.ID, d)
+			}
+			if d == t.ID {
+				return 0, fmt.Errorf("ndp: task %d depends on itself", t.ID)
+			}
+			dependents[d] = append(dependents[d], t.ID)
+		}
+	}
+
+	ready := make([]int, 0, n)
+	for _, t := range g.Tasks {
+		if len(t.Deps) == 0 {
+			ready = append(ready, t.ID)
+		}
+	}
+	var clock int64
+	done := 0
+	depFinish := make([]int64, n) // latest finish among predecessors
+	for len(ready) > 0 {
+		// Pre-defined order: lowest ID first.
+		best := 0
+		for i := 1; i < len(ready); i++ {
+			if ready[i] < ready[best] {
+				best = i
+			}
+		}
+		id := ready[best]
+		ready = append(ready[:best], ready[best+1:]...)
+
+		t := g.Tasks[id]
+		start := clock
+		if depFinish[id] > start {
+			start = depFinish[id]
+		}
+		dur := t.Compute
+		dramCycles := int64(cfg.DRAMSeconds(t.DRAM) * cfg.ClockHz)
+		if dramCycles > dur {
+			dur = dramCycles // double buffering: overlap, take the max
+		}
+		t.Start = start
+		t.Finish = start + dur
+		clock = t.Finish
+		done++
+
+		for _, dep := range dependents[id] {
+			counters[dep]++
+			if depFinish[dep] < t.Finish {
+				depFinish[dep] = t.Finish
+			}
+			if counters[dep] == len(g.Tasks[dep].Deps) {
+				ready = append(ready, dep)
+			}
+		}
+	}
+	if done != n {
+		return 0, fmt.Errorf("ndp: dependency cycle — only %d of %d tasks ran", done, n)
+	}
+	return clock, nil
+}

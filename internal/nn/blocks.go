@@ -1,0 +1,218 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"mptwino/internal/conv"
+	"mptwino/internal/tensor"
+	"mptwino/internal/winograd"
+)
+
+// MaxPool2 is 2×2 max pooling with stride 2 (input dims must be even).
+type MaxPool2 struct {
+	inShape [4]int
+	argmax  []int // flat input index chosen per output element
+}
+
+// Forward takes the window maximum.
+func (p *MaxPool2) Forward(x *tensor.Tensor) *tensor.Tensor {
+	if x.H%2 != 0 || x.W%2 != 0 {
+		panic(fmt.Sprintf("nn: MaxPool2 needs even dims, got %s", x.ShapeString()))
+	}
+	p.inShape = [4]int{x.N, x.C, x.H, x.W}
+	y := tensor.New(x.N, x.C, x.H/2, x.W/2)
+	p.argmax = make([]int, y.Len())
+	oi := 0
+	for n := 0; n < x.N; n++ {
+		for c := 0; c < x.C; c++ {
+			for h := 0; h < x.H; h += 2 {
+				for w := 0; w < x.W; w += 2 {
+					best := x.Index(n, c, h, w)
+					bv := x.Data[best]
+					for _, d := range [3][2]int{{0, 1}, {1, 0}, {1, 1}} {
+						idx := x.Index(n, c, h+d[0], w+d[1])
+						if x.Data[idx] > bv {
+							best, bv = idx, x.Data[idx]
+						}
+					}
+					y.Data[oi] = bv
+					p.argmax[oi] = best
+					oi++
+				}
+			}
+		}
+	}
+	return y
+}
+
+// Backward routes each gradient to its argmax position.
+func (p *MaxPool2) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	if p.argmax == nil || len(p.argmax) != dy.Len() {
+		panic("nn: MaxPool2.Backward before Forward or with mismatched shape")
+	}
+	s := p.inShape
+	dx := tensor.New(s[0], s[1], s[2], s[3])
+	for oi, src := range p.argmax {
+		dx.Data[src] += dy.Data[oi]
+	}
+	return dx
+}
+
+// Step is a no-op.
+func (p *MaxPool2) Step(lr float32) {}
+
+// ScaleShift is a per-channel affine normalization y = γ·(x−μ)/σ + β with
+// batch statistics computed on the fly — a BatchNorm stand-in sufficient
+// for the small-scale training experiments (no running statistics; the
+// backward pass treats μ and σ as constants, the common "frozen statistics"
+// approximation).
+type ScaleShift struct {
+	C           int
+	Gamma, Beta []float32
+
+	x      *tensor.Tensor
+	mu     []float32
+	inv    []float32
+	dG, dB []float32
+}
+
+// NewScaleShift builds an identity-initialized normalization for c channels.
+func NewScaleShift(c int) *ScaleShift {
+	s := &ScaleShift{C: c, Gamma: make([]float32, c), Beta: make([]float32, c)}
+	for i := range s.Gamma {
+		s.Gamma[i] = 1
+	}
+	return s
+}
+
+// Forward normalizes per channel over (batch, H, W).
+func (s *ScaleShift) Forward(x *tensor.Tensor) *tensor.Tensor {
+	if x.C != s.C {
+		panic(fmt.Sprintf("nn: ScaleShift expects %d channels, got %s", s.C, x.ShapeString()))
+	}
+	s.x = x
+	s.mu = make([]float32, s.C)
+	s.inv = make([]float32, s.C)
+	n := float64(x.N * x.H * x.W)
+	for c := 0; c < s.C; c++ {
+		var sum, sumsq float64
+		for b := 0; b < x.N; b++ {
+			for h := 0; h < x.H; h++ {
+				for w := 0; w < x.W; w++ {
+					v := float64(x.At(b, c, h, w))
+					sum += v
+					sumsq += v * v
+				}
+			}
+		}
+		mean := sum / n
+		variance := sumsq/n - mean*mean
+		if variance < 1e-8 {
+			variance = 1e-8
+		}
+		s.mu[c] = float32(mean)
+		s.inv[c] = float32(1 / math.Sqrt(variance))
+	}
+	y := tensor.New(x.N, x.C, x.H, x.W)
+	for b := 0; b < x.N; b++ {
+		for c := 0; c < x.C; c++ {
+			g, bt, mu, inv := s.Gamma[c], s.Beta[c], s.mu[c], s.inv[c]
+			for h := 0; h < x.H; h++ {
+				for w := 0; w < x.W; w++ {
+					y.Set(b, c, h, w, g*(x.At(b, c, h, w)-mu)*inv+bt)
+				}
+			}
+		}
+	}
+	return y
+}
+
+// Backward accumulates dγ, dβ and returns dx (frozen-statistics gradient).
+func (s *ScaleShift) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	if s.x == nil {
+		panic("nn: ScaleShift.Backward before Forward")
+	}
+	if s.dG == nil {
+		s.dG = make([]float32, s.C)
+		s.dB = make([]float32, s.C)
+	}
+	dx := tensor.New(dy.N, dy.C, dy.H, dy.W)
+	for b := 0; b < dy.N; b++ {
+		for c := 0; c < s.C; c++ {
+			g, mu, inv := s.Gamma[c], s.mu[c], s.inv[c]
+			for h := 0; h < dy.H; h++ {
+				for w := 0; w < dy.W; w++ {
+					gv := dy.At(b, c, h, w)
+					s.dB[c] += gv
+					s.dG[c] += gv * (s.x.At(b, c, h, w) - mu) * inv
+					dx.Set(b, c, h, w, gv*g*inv)
+				}
+			}
+		}
+	}
+	return dx
+}
+
+// Step applies SGD and clears the gradients.
+func (s *ScaleShift) Step(lr float32) {
+	if s.dG == nil {
+		return
+	}
+	for c := 0; c < s.C; c++ {
+		s.Gamma[c] -= lr * s.dG[c]
+		s.Beta[c] -= lr * s.dB[c]
+		s.dG[c], s.dB[c] = 0, 0
+	}
+}
+
+// Residual is a ResNet basic block over Winograd layers:
+// y = ReLU(conv2(ReLU(conv1(x))) + x), with both convs channel-preserving.
+// It is the building unit of the WRN/ResNet workloads in Table I.
+type Residual struct {
+	C1, C2 *WinoConv
+	R1     *ReLU
+	rOut   *ReLU
+}
+
+// NewResidual builds the block for channel-preserving geometry p
+// (p.In == p.Out required).
+func NewResidual(tr *winograd.Transform, p conv.Params, rng *tensor.RNG) (*Residual, error) {
+	if p.In != p.Out {
+		return nil, fmt.Errorf("nn: residual block needs In == Out, got %d != %d", p.In, p.Out)
+	}
+	c1, err := NewWinoConv(tr, p, rng)
+	if err != nil {
+		return nil, err
+	}
+	c2, err := NewWinoConv(tr, p, rng)
+	if err != nil {
+		return nil, err
+	}
+	return &Residual{C1: c1, C2: c2, R1: &ReLU{}, rOut: &ReLU{}}, nil
+}
+
+// Forward computes the residual sum and final activation.
+func (r *Residual) Forward(x *tensor.Tensor) *tensor.Tensor {
+	h := r.R1.Forward(r.C1.Forward(x))
+	h = r.C2.Forward(h)
+	h.AXPY(1, x) // skip connection
+	return r.rOut.Forward(h)
+}
+
+// Backward splits the gradient between the conv path and the skip path.
+func (r *Residual) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	dh := r.rOut.Backward(dy)
+	dxSkip := dh.Clone()
+	d := r.C2.Backward(dh)
+	d = r.R1.Backward(d)
+	d = r.C1.Backward(d)
+	d.AXPY(1, dxSkip)
+	return d
+}
+
+// Step updates both convolutions.
+func (r *Residual) Step(lr float32) {
+	r.C1.Step(lr)
+	r.C2.Step(lr)
+}

@@ -1,0 +1,205 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"mptwino/internal/conv"
+	"mptwino/internal/tensor"
+	"mptwino/internal/trace"
+	"mptwino/internal/winograd"
+)
+
+func TestMaxPool2ForwardBackward(t *testing.T) {
+	p := &MaxPool2{}
+	x := tensor.FromSlice(1, 1, 2, 4, []float32{
+		1, 5, 2, 2,
+		3, 4, 2, 9,
+	})
+	y := p.Forward(x)
+	if y.At(0, 0, 0, 0) != 5 || y.At(0, 0, 0, 1) != 9 {
+		t.Fatalf("maxpool fwd = %v", y.Data)
+	}
+	dy := tensor.FromSlice(1, 1, 1, 2, []float32{10, 20})
+	dx := p.Backward(dy)
+	// Gradients land exactly at the argmax positions.
+	want := []float32{0, 10, 0, 0, 0, 0, 0, 20}
+	for i := range want {
+		if dx.Data[i] != want[i] {
+			t.Fatalf("maxpool bwd = %v", dx.Data)
+		}
+	}
+}
+
+func TestMaxPool2Panics(t *testing.T) {
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("odd dims accepted")
+			}
+		}()
+		(&MaxPool2{}).Forward(tensor.New(1, 1, 3, 4))
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("backward before forward accepted")
+			}
+		}()
+		(&MaxPool2{}).Backward(tensor.New(1, 1, 1, 1))
+	}()
+}
+
+func TestScaleShiftNormalizes(t *testing.T) {
+	s := NewScaleShift(2)
+	rng := tensor.NewRNG(3)
+	x := tensor.New(4, 2, 6, 6)
+	rng.FillNormal(x, 3, 2) // far from standardized
+	y := s.Forward(x)
+	// Per-channel output must be ~N(0,1) at identity γ/β.
+	for c := 0; c < 2; c++ {
+		var sum, sumsq float64
+		n := 0
+		for b := 0; b < 4; b++ {
+			for h := 0; h < 6; h++ {
+				for w := 0; w < 6; w++ {
+					v := float64(y.At(b, c, h, w))
+					sum += v
+					sumsq += v * v
+					n++
+				}
+			}
+		}
+		mean := sum / float64(n)
+		variance := sumsq/float64(n) - mean*mean
+		if math.Abs(mean) > 1e-4 || math.Abs(variance-1) > 1e-3 {
+			t.Fatalf("channel %d: mean %v var %v", c, mean, variance)
+		}
+	}
+}
+
+func TestScaleShiftGradCheck(t *testing.T) {
+	s := NewScaleShift(1)
+	rng := tensor.NewRNG(7)
+	x := tensor.New(2, 1, 2, 2)
+	rng.FillNormal(x, 1, 0.5)
+	// Loss = 0.5||y||²; gradient check on gamma with frozen statistics.
+	loss := func() float64 {
+		y := s.Forward(x)
+		var l float64
+		for _, v := range y.Data {
+			l += 0.5 * float64(v) * float64(v)
+		}
+		return l
+	}
+	y := s.Forward(x)
+	s.Backward(y)
+	analytic := float64(s.dG[0])
+	const eps = 1e-3
+	s.Gamma[0] += eps
+	lp := loss()
+	s.Gamma[0] -= 2 * eps
+	lm := loss()
+	s.Gamma[0] += eps
+	numeric := (lp - lm) / (2 * eps)
+	if math.Abs(numeric-analytic) > 1e-2*(1+math.Abs(numeric)) {
+		t.Fatalf("dGamma: numeric %v vs analytic %v", numeric, analytic)
+	}
+}
+
+func TestScaleShiftChannelMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("channel mismatch accepted")
+		}
+	}()
+	NewScaleShift(3).Forward(tensor.New(1, 2, 4, 4))
+}
+
+func TestResidualNeedsMatchingChannels(t *testing.T) {
+	p := conv.Params{In: 2, Out: 4, K: 3, Pad: 1, H: 8, W: 8}
+	if _, err := NewResidual(winograd.F2x2_3x3, p, tensor.NewRNG(1)); err == nil {
+		t.Fatal("In != Out accepted")
+	}
+}
+
+// TestResidualSkipGradient: with zero conv weights the block is
+// y = ReLU(x), so dx must equal the ReLU-masked dy exactly — the skip
+// path's gradient.
+func TestResidualSkipGradient(t *testing.T) {
+	p := conv.Params{In: 2, Out: 2, K: 3, Pad: 1, H: 6, W: 6}
+	r, err := NewResidual(winograd.F2x2_3x3, p, tensor.NewRNG(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Zero both convs.
+	for _, wc := range []*WinoConv{r.C1, r.C2} {
+		for _, el := range wc.L.W.El {
+			for i := range el.Data {
+				el.Data[i] = 0
+			}
+		}
+	}
+	rng := tensor.NewRNG(11)
+	x := tensor.New(2, 2, 6, 6)
+	rng.FillNormal(x, 0, 1)
+	y := r.Forward(x)
+	for i, v := range x.Data {
+		want := v
+		if want < 0 {
+			want = 0
+		}
+		if y.Data[i] != want {
+			t.Fatal("zero-weight residual is not ReLU(x)")
+		}
+	}
+	dy := tensor.New(2, 2, 6, 6)
+	rng.FillNormal(dy, 0, 1)
+	dx := r.Backward(dy)
+	for i := range dy.Data {
+		want := dy.Data[i]
+		if x.Data[i] <= 0 {
+			want = 0
+		}
+		if dx.Data[i] != want {
+			t.Fatalf("skip gradient wrong at %d: %v vs %v", i, dx.Data[i], want)
+		}
+	}
+}
+
+// TestResidualCNNTrains: a ResNet-style network (conv → residual → pool →
+// dense) must learn the quadrant task, exercising every block together.
+func TestResidualCNNTrains(t *testing.T) {
+	rng := tensor.NewRNG(13)
+	ds := trace.QuadrantBlobs(64, 1, 8, 8, 101)
+	p0 := conv.Params{In: 1, Out: 4, K: 3, Pad: 1, H: 8, W: 8}
+	pr := conv.Params{In: 4, Out: 4, K: 3, Pad: 1, H: 8, W: 8}
+	stem, err := NewWinoConv(winograd.F2x2_3x3, p0, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := NewResidual(winograd.F2x2_3x3, pr, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := &Sequential{Layers: []Layer{
+		stem,
+		NewScaleShift(4),
+		&ReLU{},
+		res,
+		&MaxPool2{},
+		NewDense(4*4*4, 4, rng),
+	}}
+	x, labels := ds.Batch(0, 64)
+	var acc float64
+	for epoch := 0; epoch < 40; epoch++ {
+		logits := net.Forward(x)
+		_, dl := SoftmaxCrossEntropy(logits, labels)
+		net.Backward(dl)
+		net.Step(0.05)
+		acc = Accuracy(logits, labels)
+	}
+	if acc < 0.85 {
+		t.Fatalf("residual CNN accuracy %v, want > 0.85", acc)
+	}
+}

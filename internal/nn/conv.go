@@ -1,0 +1,106 @@
+package nn
+
+import (
+	"mptwino/internal/conv"
+	"mptwino/internal/tensor"
+	"mptwino/internal/winograd"
+)
+
+// Conv is a direct-convolution layer with spatial weights — the d_dp
+// algorithm as a trainable layer.
+type Conv struct {
+	P conv.Params
+	W *tensor.Tensor // (Out, In, K, K)
+
+	x  *tensor.Tensor
+	dW *tensor.Tensor
+}
+
+// NewConv builds a He-initialized direct convolution layer.
+func NewConv(p conv.Params, rng *tensor.RNG) *Conv {
+	w := tensor.New(p.Out, p.In, p.K, p.K)
+	rng.FillHe(w, p.In*p.K*p.K)
+	return &Conv{P: p, W: w}
+}
+
+// Forward convolves and caches the input.
+func (c *Conv) Forward(x *tensor.Tensor) *tensor.Tensor {
+	c.x = x
+	return conv.Fprop(c.P, x, c.W)
+}
+
+// Backward accumulates dW and returns dx.
+func (c *Conv) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	if c.x == nil {
+		panic("nn: Conv.Backward before Forward")
+	}
+	g := conv.UpdateGrad(c.P, c.x, dy)
+	if c.dW == nil {
+		c.dW = g
+	} else {
+		c.dW.AXPY(1, g)
+	}
+	return conv.Bprop(c.P, dy, c.W)
+}
+
+// Step applies SGD and clears the gradient.
+func (c *Conv) Step(lr float32) {
+	if c.dW == nil {
+		return
+	}
+	c.W.AXPY(-lr, c.dW)
+	c.dW = nil
+}
+
+// WinoConv is the paper's Winograd layer as a trainable nn.Layer: the
+// parameters are the Winograd-domain weights, updated directly in the
+// Winograd domain (Fig. 2(b)).
+type WinoConv struct {
+	L *winograd.Layer
+
+	dW *winograd.Weights
+}
+
+// NewWinoConv builds a Winograd layer for geometry p under transform tr.
+func NewWinoConv(tr *winograd.Transform, p conv.Params, rng *tensor.RNG) (*WinoConv, error) {
+	l, err := winograd.NewLayer(tr, p, rng)
+	if err != nil {
+		return nil, err
+	}
+	return &WinoConv{L: l}, nil
+}
+
+// NewWinoConvFromSpatial builds a Winograd layer whose weights are the
+// transform of the given spatial weights (for equivalence testing).
+func NewWinoConvFromSpatial(tr *winograd.Transform, p conv.Params, w *tensor.Tensor) (*WinoConv, error) {
+	l, err := winograd.NewLayerWithWeights(tr, p, w)
+	if err != nil {
+		return nil, err
+	}
+	return &WinoConv{L: l}, nil
+}
+
+// Forward runs the Winograd-domain forward pass.
+func (c *WinoConv) Forward(x *tensor.Tensor) *tensor.Tensor {
+	return c.L.Fprop(x)
+}
+
+// Backward accumulates the Winograd-domain gradient and returns dx.
+func (c *WinoConv) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	g := c.L.UpdateGradW(dy)
+	if c.dW == nil {
+		c.dW = g
+	} else {
+		c.dW.AXPY(1, g)
+	}
+	return c.L.Bprop(dy)
+}
+
+// Step applies the Winograd-domain SGD update.
+func (c *WinoConv) Step(lr float32) {
+	if c.dW == nil {
+		return
+	}
+	c.L.Step(lr, c.dW)
+	c.dW = nil
+}

@@ -1,0 +1,168 @@
+package nn
+
+import (
+	"mptwino/internal/conv"
+	"mptwino/internal/tensor"
+	"mptwino/internal/winograd"
+)
+
+// JoinMode selects where a FractalBlock averages its columns.
+type JoinMode int
+
+const (
+	// SpatialJoin is FractalNet's standard join: each column inverse-
+	// transforms its output to the spatial domain, then the mean is taken.
+	SpatialJoin JoinMode = iota
+	// WinogradJoin is the paper's modified join (Fig. 14): column outputs
+	// are averaged as Winograd-domain tiles and only the joined result is
+	// inverse-transformed — reducing transforms and tile gathering. The
+	// join is linear, so this is numerically equivalent to SpatialJoin.
+	WinogradJoin
+)
+
+// FractalBlock is a two-column fractal unit over a shared input:
+//
+//	column A: conv
+//	column B: conv → ReLU → conv
+//
+// with outputs joined by mean (the paper applies ReLU after the join,
+// which the caller adds). All convs run as Winograd layers with the same
+// output geometry.
+type FractalBlock struct {
+	Mode JoinMode
+
+	A     *winograd.Layer
+	B1    *winograd.Layer
+	BRelu *ReLU
+	B2    *winograd.Layer
+
+	// backward caches
+	dWA, dWB1, dWB2 *winograd.Weights
+	b1Out           *tensor.Tensor
+}
+
+// NewFractalBlock builds the block: pA maps the block input to the output
+// channels directly (column A); column B goes through an intermediate
+// layer of the same width.
+func NewFractalBlock(tr *winograd.Transform, p conv.Params, mode JoinMode, rng *tensor.RNG) (*FractalBlock, error) {
+	a, err := winograd.NewLayer(tr, p, rng)
+	if err != nil {
+		return nil, err
+	}
+	b1, err := winograd.NewLayer(tr, p, rng)
+	if err != nil {
+		return nil, err
+	}
+	// B2 consumes B1's output: same spatial size (same padding), channel
+	// count = p.Out.
+	p2 := p
+	p2.In = p.Out
+	b2, err := winograd.NewLayer(tr, p2, rng)
+	if err != nil {
+		return nil, err
+	}
+	return &FractalBlock{Mode: mode, A: a, B1: b1, BRelu: &ReLU{}, B2: b2}, nil
+}
+
+// Forward joins the two columns by mean under the configured mode.
+func (f *FractalBlock) Forward(x *tensor.Tensor) *tensor.Tensor {
+	b1y := f.B1.Fprop(x)
+	f.b1Out = b1y
+	b2in := f.BRelu.Forward(b1y)
+
+	switch f.Mode {
+	case WinogradJoin:
+		ya := f.A.FpropDomain(x)
+		yb := f.B2.FpropDomain(b2in)
+		ya.AddDomain(yb)
+		ya.Scale(0.5)
+		return f.A.Tiling.InverseOutput(ya)
+	default:
+		ya := f.A.Fprop(x)
+		yb := f.B2.Fprop(b2in)
+		out := ya.Clone()
+		out.AXPY(1, yb)
+		out.Scale(0.5)
+		return out
+	}
+}
+
+// Backward propagates the joined gradient through both columns and
+// accumulates all three weight gradients. Both modes compute the same
+// mathematical gradient; WinogradJoin shares one output-gradient
+// transform.
+func (f *FractalBlock) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	var dxA, dxB *tensor.Tensor
+	switch f.Mode {
+	case WinogradJoin:
+		dyd := f.A.Tiling.TransformOutputGrad(dy)
+		dyd.Scale(0.5)
+		f.accA(f.A.UpdateGradWDomain(dyd))
+		dxA = f.A.BpropDomain(dyd)
+		f.accB2(f.B2.UpdateGradWDomain(dyd))
+		db2 := f.B2.BpropDomain(dyd)
+		db1 := f.BRelu.Backward(db2)
+		f.accB1(f.B1.UpdateGradW(db1))
+		dxB = f.B1.Bprop(db1)
+	default:
+		half := dy.Clone()
+		half.Scale(0.5)
+		f.accA(f.A.UpdateGradW(half))
+		dxA = f.A.Bprop(half)
+		f.accB2(f.B2.UpdateGradW(half))
+		db2 := f.B2.Bprop(half)
+		db1 := f.BRelu.Backward(db2)
+		f.accB1(f.B1.UpdateGradW(db1))
+		dxB = f.B1.Bprop(db1)
+	}
+	dxA.AXPY(1, dxB)
+	return dxA
+}
+
+func (f *FractalBlock) accA(g *winograd.Weights) {
+	if f.dWA == nil {
+		f.dWA = g
+	} else {
+		f.dWA.AXPY(1, g)
+	}
+}
+
+func (f *FractalBlock) accB1(g *winograd.Weights) {
+	if f.dWB1 == nil {
+		f.dWB1 = g
+	} else {
+		f.dWB1.AXPY(1, g)
+	}
+}
+
+func (f *FractalBlock) accB2(g *winograd.Weights) {
+	if f.dWB2 == nil {
+		f.dWB2 = g
+	} else {
+		f.dWB2.AXPY(1, g)
+	}
+}
+
+// Step applies SGD to all three convolutions.
+func (f *FractalBlock) Step(lr float32) {
+	if f.dWA != nil {
+		f.A.Step(lr, f.dWA)
+		f.dWA = nil
+	}
+	if f.dWB1 != nil {
+		f.B1.Step(lr, f.dWB1)
+		f.dWB1 = nil
+	}
+	if f.dWB2 != nil {
+		f.B2.Step(lr, f.dWB2)
+		f.dWB2 = nil
+	}
+}
+
+// CloneWeightsFrom copies the other block's weights (for equivalence
+// experiments starting both modes from identical parameters).
+func (f *FractalBlock) CloneWeightsFrom(o *FractalBlock) {
+	f.A.W = o.A.W.Clone()
+	f.B1.W = o.B1.W.Clone()
+	f.B2.W = o.B2.W.Clone()
+}

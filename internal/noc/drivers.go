@@ -1,0 +1,179 @@
+package noc
+
+// RingCollective drives a pipelined ring all-reduce (reduce-scatter +
+// all-gather) over an ordered member list, the collective the paper's
+// communication units implement in hardware (Section VI-C): the payload is
+// split into len(members) chunks; chunk k starts at member k and is
+// forwarded 2·(n−1) times around the ring, each forward gated on the
+// previous delivery — exactly the "pipelined transfer" dependency
+// structure, with all chunks in flight concurrently.
+type RingCollective struct {
+	Members []int
+	Bytes   int // total payload per member (the gradient shard size)
+
+	remaining int
+	chunk     int
+}
+
+// Start injects hop 0 of every chunk.
+func (r *RingCollective) Start(n *Network) {
+	nm := len(r.Members)
+	if nm <= 1 || r.Bytes <= 0 {
+		r.remaining = 0
+		return
+	}
+	r.chunk = (r.Bytes + nm - 1) / nm
+	r.remaining = nm * 2 * (nm - 1)
+	for k := 0; k < nm; k++ {
+		n.Inject(&Message{
+			Src:   r.Members[k],
+			Dst:   r.Members[(k+1)%nm],
+			Bytes: r.chunk,
+			Tag:   k<<16 | 0, // chunk index, step 0
+		})
+	}
+}
+
+// OnDeliver forwards the chunk to the next member until it has completed
+// 2(n−1) steps.
+func (r *RingCollective) OnDeliver(n *Network, m *Message) {
+	r.remaining--
+	nm := len(r.Members)
+	step := m.Tag & 0xffff
+	if step+1 >= 2*(nm-1) {
+		return
+	}
+	// The member that just received the chunk forwards it on.
+	pos := r.memberIndex(m.Dst)
+	n.Inject(&Message{
+		Src:   m.Dst,
+		Dst:   r.Members[(pos+1)%nm],
+		Bytes: r.chunk,
+		Tag:   (m.Tag &^ 0xffff) | (step + 1),
+	})
+}
+
+func (r *RingCollective) memberIndex(node int) int {
+	for i, v := range r.Members {
+		if v == node {
+			return i
+		}
+	}
+	panic("noc: node not a ring member")
+}
+
+// Done reports all hops delivered.
+func (r *RingCollective) Done() bool { return r.remaining <= 0 }
+
+// AllToAll drives the tile-transfer pattern: every member sends Bytes to
+// every other member, all injected at once (gather and scatter of
+// Winograd-domain tiles inside a cluster).
+type AllToAll struct {
+	Members []int
+	Bytes   int // per source-destination pair
+
+	remaining int
+}
+
+// Start injects the full n·(n−1) message set.
+func (a *AllToAll) Start(n *Network) {
+	if a.Bytes <= 0 {
+		return
+	}
+	for _, s := range a.Members {
+		for _, d := range a.Members {
+			if s == d {
+				continue
+			}
+			n.Inject(&Message{Src: s, Dst: d, Bytes: a.Bytes})
+			a.remaining++
+		}
+	}
+}
+
+// OnDeliver counts completions.
+func (a *AllToAll) OnDeliver(n *Network, m *Message) { a.remaining-- }
+
+// Done reports all pairs delivered.
+func (a *AllToAll) Done() bool { return a.remaining <= 0 }
+
+// Hotspot drives all members toward a single destination — the worst-case
+// pattern for tile gathering when one worker owns a popular tile region.
+type Hotspot struct {
+	Members []int
+	Dst     int
+	Bytes   int // per source
+
+	remaining int
+}
+
+// Start injects one message per non-destination member.
+func (h *Hotspot) Start(n *Network) {
+	if h.Bytes <= 0 {
+		return
+	}
+	for _, s := range h.Members {
+		if s == h.Dst {
+			continue
+		}
+		n.Inject(&Message{Src: s, Dst: h.Dst, Bytes: h.Bytes})
+		h.remaining++
+	}
+}
+
+// OnDeliver counts completions.
+func (h *Hotspot) OnDeliver(n *Network, m *Message) { h.remaining-- }
+
+// Done reports all sources drained.
+func (h *Hotspot) Done() bool { return h.remaining <= 0 }
+
+// MultiDriver runs several drivers concurrently over one fabric — e.g. a
+// ring collective per group plus all-to-all per cluster, the paper's
+// "concurrent collective operation of multiple messages".
+type MultiDriver struct {
+	Drivers []Driver
+	// owner[msgID] would be ambiguous across drivers, so deliveries are
+	// broadcast; drivers must tolerate OnDeliver calls for foreign
+	// messages. RingCollective and AllToAll track their own message sets.
+	byMsg map[*Message]Driver
+}
+
+// NewMultiDriver wraps drivers for a combined run.
+func NewMultiDriver(ds ...Driver) *MultiDriver {
+	return &MultiDriver{Drivers: ds, byMsg: make(map[*Message]Driver)}
+}
+
+// Start starts every sub-driver, tracking message ownership via inject
+// interposition.
+func (md *MultiDriver) Start(n *Network) {
+	for _, d := range md.Drivers {
+		before := len(n.messages)
+		d.Start(n)
+		for _, m := range n.messages[before:] {
+			md.byMsg[m] = d
+		}
+	}
+}
+
+// OnDeliver dispatches to the owning driver and tracks its follow-ups.
+func (md *MultiDriver) OnDeliver(n *Network, m *Message) {
+	d := md.byMsg[m]
+	if d == nil {
+		return
+	}
+	before := len(n.messages)
+	d.OnDeliver(n, m)
+	for _, nm := range n.messages[before:] {
+		md.byMsg[nm] = d
+	}
+}
+
+// Done reports whether every sub-driver is done.
+func (md *MultiDriver) Done() bool {
+	for _, d := range md.Drivers {
+		if !d.Done() {
+			return false
+		}
+	}
+	return true
+}

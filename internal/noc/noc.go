@@ -1,0 +1,439 @@
+// Package noc is a flit-level simulator of the memory-centric network —
+// the role Booksim plays in the paper's methodology (Table III). Routers
+// forward flits over class-weighted links (full 30 B/cycle, narrow
+// 10 B/cycle at the 1 GHz router clock) with per-hop SerDes latency,
+// finite input buffers, and round-robin output arbitration. Traffic
+// drivers express the paper's two patterns: pipelined ring collectives and
+// cluster-local all-to-all tile transfer.
+//
+// The simulator transfers flits independently (per-flit virtual
+// cut-through) rather than reserving channels per packet; at the message
+// sizes and loads evaluated this matches wormhole throughput while keeping
+// the model deadlock-free in combination with always-draining ejection.
+package noc
+
+import (
+	"fmt"
+
+	"mptwino/internal/topology"
+)
+
+// Config sets the physical parameters of the simulated fabric.
+type Config struct {
+	FlitBytes    int // flit payload; 10 B makes narrow links exactly 1 flit/cycle
+	SerDesCycles int // per-hop serialization+deserialization (paper: 5 ns)
+	HostExtra    int // additional cycles on Host-class links (through-host hop)
+	BufferFlits  int // input-queue capacity per port, in flits
+	ClockHz      float64
+
+	// RandomFirstHop enables randomized minimal routing at injection: a
+	// message departs through a uniformly chosen minimal first hop instead
+	// of the deterministic table entry, spreading all-to-all load across
+	// path-diverse fabrics like the FBFLY (where every 2-hop pair has an
+	// XY and a YX path).
+	RandomFirstHop bool
+	// Seed drives the first-hop randomization (deterministic per seed).
+	Seed uint64
+}
+
+// DefaultConfig returns the Table III configuration.
+func DefaultConfig() Config {
+	return Config{
+		FlitBytes:    10,
+		SerDesCycles: 5,
+		HostExtra:    5,
+		BufferFlits:  16,
+		ClockHz:      1e9,
+	}
+}
+
+// Message is one network transfer between two workers.
+type Message struct {
+	ID    int
+	Src   int
+	Dst   int
+	Bytes int
+	// Tag carries driver-private state (e.g. chunk index / step).
+	Tag int
+
+	InjectedAt    int64
+	DeliveredAt   int64
+	receivedBytes int
+	delivered     bool
+}
+
+type flit struct {
+	msg   *Message
+	bytes int
+}
+
+// inFlight is a flit traversing a link's SerDes pipeline.
+type inFlight struct {
+	f        flit
+	arriveAt int64
+}
+
+// port is one input queue of a router.
+type port struct {
+	queue []flit
+}
+
+// link is a directed physical channel.
+type link struct {
+	from, to    int
+	class       topology.LinkClass
+	flitsPerCyc int
+	latency     int64
+	pipeline    []inFlight
+	// stats
+	busyFlits int64
+}
+
+// Network is the simulation instance.
+type Network struct {
+	Cfg    Config
+	G      *topology.Graph
+	Routes *topology.RouteTable
+
+	links    []*link
+	outLinks [][]int         // node -> indices into links
+	linkIdx  map[[2]int]int  // (from,to) -> link index
+	inPorts  []map[int]*port // node -> from-node -> queue
+	// injectQ is per outgoing link, not per node: locally injected flits
+	// queue at the output port their route departs through, so messages
+	// bound for different links never head-of-line block each other.
+	injectQ [][]flit // indexed like links
+	rr      []int    // round-robin cursor per link
+
+	now       int64
+	messages  []*Message
+	pendingID int
+	rngState  uint64
+
+	// Stats
+	BytesByClass map[topology.LinkClass]int64
+	FlitHops     int64
+}
+
+// New builds a network simulator over graph g.
+func New(g *topology.Graph, cfg Config) *Network {
+	n := &Network{
+		Cfg:          cfg,
+		G:            g,
+		Routes:       topology.BuildRoutes(g),
+		outLinks:     make([][]int, g.N),
+		linkIdx:      make(map[[2]int]int),
+		inPorts:      make([]map[int]*port, g.N),
+		BytesByClass: make(map[topology.LinkClass]int64),
+	}
+	for v := 0; v < g.N; v++ {
+		n.inPorts[v] = make(map[int]*port)
+	}
+	for from := 0; from < g.N; from++ {
+		for _, e := range g.Adj[from] {
+			l := &link{
+				from:        from,
+				to:          e.To,
+				class:       e.Class,
+				flitsPerCyc: int(e.Class.Bandwidth() / cfg.ClockHz / float64(cfg.FlitBytes)),
+				latency:     int64(cfg.SerDesCycles),
+			}
+			if l.flitsPerCyc < 1 {
+				l.flitsPerCyc = 1
+			}
+			if e.Class == topology.Host {
+				l.latency += int64(cfg.HostExtra)
+			}
+			n.linkIdx[[2]int{from, e.To}] = len(n.links)
+			n.outLinks[from] = append(n.outLinks[from], len(n.links))
+			n.links = append(n.links, l)
+			n.inPorts[e.To][from] = &port{}
+		}
+	}
+	n.rr = make([]int, len(n.links))
+	n.injectQ = make([][]flit, len(n.links))
+	n.rngState = cfg.Seed ^ 0x632be59bd9b4e019
+	return n
+}
+
+// rand32 advances the network's deterministic RNG (SplitMix64).
+func (n *Network) rand32() uint32 {
+	n.rngState += 0x9e3779b97f4a7c15
+	z := n.rngState
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return uint32(z ^ (z >> 31))
+}
+
+// firstHop picks the message's departure neighbor: the deterministic
+// minimal next hop, or — with RandomFirstHop — a uniform choice among all
+// minimal neighbors.
+func (n *Network) firstHop(src, dst int) int {
+	if !n.Cfg.RandomFirstHop {
+		return n.Routes.NextHop(src, dst)
+	}
+	want := n.Routes.HopCount(src, dst) - 1
+	var minimal []int
+	for _, e := range n.G.Adj[src] {
+		if n.Routes.HopCount(e.To, dst) == want {
+			minimal = append(minimal, e.To)
+		}
+	}
+	if len(minimal) == 0 {
+		return n.Routes.NextHop(src, dst)
+	}
+	return minimal[int(n.rand32())%len(minimal)]
+}
+
+// Now returns the current simulation cycle.
+func (n *Network) Now() int64 { return n.now }
+
+// Inject queues a message at its source. It returns the message for
+// driver bookkeeping.
+func (n *Network) Inject(m *Message) *Message {
+	if m.Src < 0 || m.Src >= n.G.N || m.Dst < 0 || m.Dst >= n.G.N {
+		panic(fmt.Sprintf("noc: inject with bad endpoints %d->%d", m.Src, m.Dst))
+	}
+	if m.Bytes <= 0 {
+		panic("noc: inject with non-positive size")
+	}
+	m.ID = n.pendingID
+	n.pendingID++
+	m.InjectedAt = n.now
+	n.messages = append(n.messages, m)
+	if m.Src == m.Dst {
+		m.delivered = true
+		m.DeliveredAt = n.now
+		return m
+	}
+	firstHop := n.firstHop(m.Src, m.Dst)
+	if firstHop < 0 {
+		panic(fmt.Sprintf("noc: no route %d->%d", m.Src, m.Dst))
+	}
+	li := n.linkIdx[[2]int{m.Src, firstHop}]
+	remaining := m.Bytes
+	for remaining > 0 {
+		b := n.Cfg.FlitBytes
+		if remaining < b {
+			b = remaining
+		}
+		n.injectQ[li] = append(n.injectQ[li], flit{msg: m, bytes: b})
+		remaining -= b
+	}
+	return m
+}
+
+// Driver generates traffic: Start injects initial messages; OnDeliver is
+// called once per delivered message and may inject follow-ups; Done
+// reports completion (checked when no traffic is in flight).
+type Driver interface {
+	Start(n *Network)
+	OnDeliver(n *Network, m *Message)
+	Done() bool
+}
+
+// Stats summarizes one run.
+type Stats struct {
+	Cycles       int64
+	Messages     int
+	Bytes        int64
+	AvgLatency   float64 // cycles, injection to full delivery
+	MaxLatency   int64
+	FlitHops     int64
+	BytesByClass map[topology.LinkClass]int64
+
+	// MaxLinkUtil / MeanLinkUtil are busy-flit fractions of link capacity
+	// over the whole run (links that never carried traffic are excluded
+	// from the mean — they were powered off per the paper's energy
+	// methodology).
+	MaxLinkUtil  float64
+	MeanLinkUtil float64
+}
+
+// Duration converts the run length to seconds at the configured clock.
+func (s Stats) Duration(clockHz float64) float64 { return float64(s.Cycles) / clockHz }
+
+// Run drives the simulation until the driver is done and all traffic has
+// drained, or maxCycles elapses (an error, indicating deadlock or
+// overload).
+func (n *Network) Run(d Driver, maxCycles int64) (Stats, error) {
+	d.Start(n)
+	for {
+		if n.idle() && d.Done() {
+			break
+		}
+		if n.now >= maxCycles {
+			return Stats{}, fmt.Errorf("noc: exceeded %d cycles with traffic outstanding", maxCycles)
+		}
+		n.step(d)
+	}
+	return n.stats(), nil
+}
+
+// Step advances the simulation by one cycle under the driver — the
+// building block for co-simulators that interleave network transport with
+// their own per-cycle state machines (internal/cosim).
+func (n *Network) Step(d Driver) { n.step(d) }
+
+// Idle reports whether no flit is queued or in flight.
+func (n *Network) Idle() bool { return n.idle() }
+
+// idle reports whether no flit is queued or in flight.
+func (n *Network) idle() bool {
+	for _, q := range n.injectQ {
+		if len(q) > 0 {
+			return false
+		}
+	}
+	for _, l := range n.links {
+		if len(l.pipeline) > 0 {
+			return false
+		}
+	}
+	for _, ports := range n.inPorts {
+		for _, p := range ports {
+			if len(p.queue) > 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// step advances one cycle: link arrivals, ejection, then output
+// arbitration and transmission.
+func (n *Network) step(d Driver) {
+	n.now++
+
+	// 1. Deliver pipeline arrivals into downstream input queues (if space).
+	for _, l := range n.links {
+		kept := l.pipeline[:0]
+		p := n.inPorts[l.to][l.from]
+		for _, inf := range l.pipeline {
+			if inf.arriveAt <= n.now && len(p.queue) < n.Cfg.BufferFlits {
+				p.queue = append(p.queue, inf.f)
+			} else {
+				kept = append(kept, inf)
+			}
+		}
+		l.pipeline = kept
+	}
+
+	// 2. Eject flits destined to their local node.
+	for v := 0; v < n.G.N; v++ {
+		for _, p := range n.inPorts[v] {
+			kept := p.queue[:0]
+			for _, f := range p.queue {
+				if f.msg.Dst == v {
+					n.deliverFlit(d, f)
+				} else {
+					kept = append(kept, f)
+				}
+			}
+			p.queue = kept
+		}
+	}
+
+	// 3. Transmit: every link moves up to flitsPerCyc flits whose route
+	// passes through it, arbitrating round-robin across the node's input
+	// ports and the link's own injection queue.
+	for li, l := range n.links {
+		budget := l.flitsPerCyc
+		sources := n.arbSources(l.from, li)
+		ns := len(sources)
+		if ns == 0 {
+			continue
+		}
+		start := n.rr[li] % ns
+		for s := 0; s < ns && budget > 0; s++ {
+			src := sources[(start+s)%ns]
+			for budget > 0 && len(*src.q) > 0 {
+				f := (*src.q)[0]
+				// Flits in this link's injection queue already committed to
+				// this first hop (possibly a randomized minimal choice);
+				// transit flits follow the deterministic route table.
+				if !src.inject && n.Routes.NextHop(l.from, f.msg.Dst) != l.to {
+					break // head flit routes elsewhere; try next source
+				}
+				*src.q = (*src.q)[1:]
+				l.pipeline = append(l.pipeline, inFlight{f: f, arriveAt: n.now + l.latency})
+				l.busyFlits++
+				n.FlitHops++
+				n.BytesByClass[l.class] += int64(f.bytes)
+				budget--
+			}
+		}
+		n.rr[li] = (start + 1) % ns
+	}
+}
+
+// arbSource is one candidate feeder queue for an output link.
+type arbSource struct {
+	q      *[]flit
+	inject bool // the link's own injection queue (pre-routed)
+}
+
+// arbSources returns every queue at node v that can feed output link li:
+// the input ports plus that link's injection queue.
+func (n *Network) arbSources(v, li int) []arbSource {
+	out := make([]arbSource, 0, len(n.inPorts[v])+1)
+	// Deterministic order: iterate adjacency (stable) rather than map order.
+	for _, e := range n.G.Adj[v] {
+		// e.To's reverse port at v — i.e. flits arriving from e.To.
+		if p, ok := n.inPorts[v][e.To]; ok {
+			out = append(out, arbSource{q: &p.queue})
+		}
+	}
+	out = append(out, arbSource{q: &n.injectQ[li], inject: true})
+	return out
+}
+
+func (n *Network) deliverFlit(d Driver, f flit) {
+	m := f.msg
+	m.receivedBytes += f.bytes
+	if m.receivedBytes >= m.Bytes && !m.delivered {
+		m.delivered = true
+		m.DeliveredAt = n.now
+		d.OnDeliver(n, m)
+	}
+}
+
+func (n *Network) stats() Stats {
+	s := Stats{
+		Cycles:       n.now,
+		Messages:     len(n.messages),
+		FlitHops:     n.FlitHops,
+		BytesByClass: n.BytesByClass,
+	}
+	var totalLat int64
+	for _, m := range n.messages {
+		s.Bytes += int64(m.Bytes)
+		lat := m.DeliveredAt - m.InjectedAt
+		totalLat += lat
+		if lat > s.MaxLatency {
+			s.MaxLatency = lat
+		}
+	}
+	if len(n.messages) > 0 {
+		s.AvgLatency = float64(totalLat) / float64(len(n.messages))
+	}
+	if n.now > 0 {
+		var sum float64
+		active := 0
+		for _, l := range n.links {
+			if l.busyFlits == 0 {
+				continue
+			}
+			u := float64(l.busyFlits) / (float64(n.now) * float64(l.flitsPerCyc))
+			sum += u
+			active++
+			if u > s.MaxLinkUtil {
+				s.MaxLinkUtil = u
+			}
+		}
+		if active > 0 {
+			s.MeanLinkUtil = sum / float64(active)
+		}
+	}
+	return s
+}

@@ -1,0 +1,152 @@
+package quant
+
+import (
+	"mptwino/internal/tensor"
+	"mptwino/internal/winograd"
+)
+
+// Predictor implements the activation prediction of Section V-A: from
+// quantized Winograd-domain output values it computes, at the destination
+// worker, both an estimate of every spatial neuron and the maximum possible
+// positive quantization error, and declares a neuron non-activated only
+// when estimate + maxErr < 0. Because quantization errors are one-sided
+// (e ∈ [0, res]) and the bound is propagated through the positive and
+// negative inverse-transform coefficients separately, the prediction can
+// never produce a false negative: a neuron predicted non-activated is
+// guaranteed non-activated.
+type Predictor struct {
+	Tr *winograd.Transform
+	Q  *Quantizer
+
+	atPos, atNeg *tensor.Mat // PN split of Aᵀ (m×T)
+	aPos, aNeg   *tensor.Mat // PN split of A  (T×m)
+}
+
+// NewPredictor builds a predictor for the given transform and quantizer.
+func NewPredictor(tr *winograd.Transform, q *Quantizer) *Predictor {
+	p := &Predictor{Tr: tr, Q: q}
+	p.atPos, p.atNeg = winograd.PNSplit(tr.AT)
+	p.aPos, p.aNeg = winograd.PNSplit(tr.A)
+	return p
+}
+
+// Prediction is the destination-side result for one tile.
+type Prediction struct {
+	Est    *tensor.Mat // m×m estimated neuron values (from quantized data)
+	MaxErr *tensor.Mat // m×m maximum possible positive error
+	// Overflow reports that at least one source element exceeded the
+	// quantizer range; the tile must then be treated as activated.
+	Overflow bool
+}
+
+// NonActivated reports whether every neuron of the tile is provably
+// non-activated (estimate + max error < 0) — the condition under which the
+// tile's gathering communication is skipped entirely.
+func (pr *Prediction) NonActivated() bool {
+	if pr.Overflow {
+		return false
+	}
+	for i, e := range pr.Est.Data {
+		if e+pr.MaxErr.Data[i] >= 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// NonActivatedRows reports, per output-tile row, whether all neurons in
+// that row are provably non-activated. With 1-D prediction the unit of
+// skipped communication is a tile line (Section V-B measures "non-activated
+// lines").
+func (pr *Prediction) NonActivatedRows() []bool {
+	out := make([]bool, pr.Est.Rows)
+	if pr.Overflow {
+		return out
+	}
+	for r := 0; r < pr.Est.Rows; r++ {
+		ok := true
+		for c := 0; c < pr.Est.Cols; c++ {
+			if pr.Est.At(r, c)+pr.MaxErr.At(r, c) >= 0 {
+				ok = false
+				break
+			}
+		}
+		out[r] = ok
+	}
+	return out
+}
+
+// Predict2D performs 2-D prediction: the source holds scattered individual
+// elements of the T×T Winograd-domain output tile y, quantizes each, and
+// the destination propagates values and error bounds through both 1-D
+// stages of the inverse transform.
+//
+// Stage 1 (rows → Z = Q·A): error bound of Z splits into positive and
+// negative parts because A has mixed-sign coefficients. Stage 2 (cols →
+// est = Aᵀ·Z): positive coefficients of Aᵀ multiply the positive stage-1
+// bound, negative coefficients the negative bound, yielding the final
+// maximum positive error (paper Fig. 11, right path).
+func (p *Predictor) Predict2D(y *tensor.Mat) *Prediction {
+	t := p.Tr.T
+	qv := tensor.NewMat(t, t)
+	res := tensor.NewMat(t, t)
+	overflow := p.Q.QuantizeSlice(y.Data, qv.Data, res.Data)
+
+	z := tensor.MatMul(qv, p.Tr.A)       // T×m estimated stage-1
+	pos1 := tensor.MatMul(res, p.aPos)   // T×m positive error bound
+	neg1 := tensor.MatMul(res, p.aNeg)   // T×m negative error bound (≤0)
+	est := tensor.MatMul(p.Tr.AT, z)     // m×m
+	maxe := tensor.MatMul(p.atPos, pos1) // positive coeff × positive err
+	tmp := tensor.MatMul(p.atNeg, neg1)  // negative coeff × negative err
+	for i := range maxe.Data {
+		maxe.Data[i] += tmp.Data[i]
+	}
+	return &Prediction{Est: est, MaxErr: maxe, Overflow: overflow}
+}
+
+// Predict1D performs 1-D prediction: the source holds complete tile rows,
+// computes the first 1-D inverse transform Z = y·A with *real* values, then
+// quantizes Z. Only the second stage accumulates quantization error, which
+// is why 1-D prediction is tighter than 2-D (Section V-B).
+func (p *Predictor) Predict1D(y *tensor.Mat) *Prediction {
+	z := tensor.MatMul(y, p.Tr.A) // T×m, exact at the source
+	qz := tensor.NewMat(z.Rows, z.Cols)
+	rz := tensor.NewMat(z.Rows, z.Cols)
+	overflow := p.Q.QuantizeSlice(z.Data, qz.Data, rz.Data)
+
+	est := tensor.MatMul(p.Tr.AT, qz)
+	// Stage-2 error: e ∈ [0, res] per Z element, so the positive bound is
+	// pos(Aᵀ)·res and the negative part contributes nothing positive.
+	maxe := tensor.MatMul(p.atPos, rz)
+	return &Prediction{Est: est, MaxErr: maxe, Overflow: overflow}
+}
+
+// TrueNonActivated reports whether the exact inverse transform of y has all
+// neurons < 0 — the oracle the paper's dotted "real value" line measures
+// (the upper limit of any prediction).
+func TrueNonActivated(tr *winograd.Transform, y *tensor.Mat) bool {
+	out := tr.OutputFromWinograd(y)
+	for _, v := range out.Data {
+		if v >= 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// TrueNonActivatedRows is the per-row oracle for 1-D prediction.
+func TrueNonActivatedRows(tr *winograd.Transform, y *tensor.Mat) []bool {
+	out := tr.OutputFromWinograd(y)
+	rows := make([]bool, out.Rows)
+	for r := 0; r < out.Rows; r++ {
+		ok := true
+		for c := 0; c < out.Cols; c++ {
+			if out.At(r, c) >= 0 {
+				ok = false
+				break
+			}
+		}
+		rows[r] = ok
+	}
+	return rows
+}

@@ -1,0 +1,137 @@
+package quant
+
+import (
+	"mptwino/internal/tensor"
+	"mptwino/internal/winograd"
+)
+
+// GatherStats summarizes activation prediction over a set of output tiles —
+// the quantities plotted in Fig. 12 and quoted in Section V-B.
+type GatherStats struct {
+	Tiles           int // tiles examined
+	TrueNonActTiles int // oracle: all neurons of the tile < 0
+	PredNonActTiles int // 2-D predict: tile provably non-activated
+	Lines           int // tile lines examined (Tiles × m rows)
+	TrueNonActLines int // oracle per line
+	PredNonActLines int // 1-D predict per line
+	FalseNegatives  int // predicted non-activated but actually activated (must stay 0)
+}
+
+// TileSkipRatio returns the fraction of tiles whose gathering is skipped
+// under 2-D prediction.
+func (s GatherStats) TileSkipRatio() float64 {
+	if s.Tiles == 0 {
+		return 0
+	}
+	return float64(s.PredNonActTiles) / float64(s.Tiles)
+}
+
+// LineSkipRatio returns the fraction of tile lines skipped under 1-D
+// prediction.
+func (s GatherStats) LineSkipRatio() float64 {
+	if s.Lines == 0 {
+		return 0
+	}
+	return float64(s.PredNonActLines) / float64(s.Lines)
+}
+
+// TrueTileRatio / TrueLineRatio are the oracle upper limits (the dotted
+// lines of Fig. 12).
+func (s GatherStats) TrueTileRatio() float64 {
+	if s.Tiles == 0 {
+		return 0
+	}
+	return float64(s.TrueNonActTiles) / float64(s.Tiles)
+}
+
+// TrueLineRatio is the oracle fraction of fully non-activated lines.
+func (s GatherStats) TrueLineRatio() float64 {
+	if s.Lines == 0 {
+		return 0
+	}
+	return float64(s.TrueNonActLines) / float64(s.Lines)
+}
+
+// MeasureGather runs both predictors over every (tile, output channel) of a
+// Winograd-domain output Domain and tallies prediction quality. pred2D and
+// pred1D may use different quantizers (the paper uses 6-bit for 2-D and
+// 5-bit for 1-D).
+func MeasureGather(yd *winograd.Domain, pred2D, pred1D *Predictor) GatherStats {
+	tr := yd.Tiling.Tr
+	var s GatherStats
+	tile := tensor.NewMat(tr.T, tr.T)
+	rows := yd.Rows()
+	for row := 0; row < rows; row++ {
+		for c := 0; c < yd.C; c++ {
+			for e := range yd.El {
+				tile.Data[e] = yd.El[e].At(row, c)
+			}
+			s.Tiles++
+
+			trueTile := TrueNonActivated(tr, tile)
+			if trueTile {
+				s.TrueNonActTiles++
+			}
+			p2 := pred2D.Predict2D(tile)
+			if p2.NonActivated() {
+				s.PredNonActTiles++
+				if !trueTile {
+					s.FalseNegatives++
+				}
+			}
+
+			// 1-D prediction skips whole source lines (rows of the
+			// Winograd-domain tile map to columns of Z; we count the m×m
+			// output's rows, whose true status the per-row oracle gives).
+			trueRows := TrueNonActivatedRows(tr, tile)
+			p1 := pred1D.Predict1D(tile)
+			predRows := p1.NonActivatedRows()
+			s.Lines += len(predRows)
+			for r := range predRows {
+				if trueRows[r] {
+					s.TrueNonActLines++
+				}
+				if predRows[r] {
+					s.PredNonActLines++
+					if !trueRows[r] {
+						s.FalseNegatives++
+					}
+				}
+			}
+		}
+	}
+	return s
+}
+
+// ScatterZeroRatio returns the fraction of exactly-zero elements in a
+// Winograd-domain input Domain — the data removable by zero-skipping during
+// tile scattering (Section V-B: "zero values of input tiles can be
+// omitted"). Zeros arise from ReLU sparsity in the previous layer's output.
+func ScatterZeroRatio(xd *winograd.Domain) float64 {
+	var zero, total int64
+	for _, el := range xd.El {
+		for _, v := range el.Data {
+			if v == 0 {
+				zero++
+			}
+			total++
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(zero) / float64(total)
+}
+
+// GatherTrafficReduction converts a skip ratio into the net communication
+// reduction of tile gathering, accounting for the quantized prediction
+// pre-send of codeBits per element: skipped tiles avoid their 32-bit
+// payload, but every tile pays the quantized header.
+func GatherTrafficReduction(skipRatio float64, codeBits int) float64 {
+	overhead := float64(codeBits) / 32.0
+	reduction := skipRatio - overhead
+	if reduction < 0 {
+		return 0
+	}
+	return reduction
+}

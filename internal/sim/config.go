@@ -1,0 +1,132 @@
+// Package sim is the full-system simulator: it executes one training
+// iteration of a convolution layer (or a whole CNN) over p NDP workers
+// under each of the paper's Table IV system configurations, producing
+// execution time, a four-factor energy breakdown, and traffic counts. The
+// phase durations come from the ndp timing model and a link-bandwidth ×
+// hop-count network model whose parameters match the flit-level noc
+// simulator (which validates them in the bench suite).
+package sim
+
+import (
+	"fmt"
+
+	"mptwino/internal/comm"
+	"mptwino/internal/energy"
+	"mptwino/internal/ndp"
+)
+
+// SystemConfig enumerates Table IV.
+type SystemConfig int
+
+const (
+	// DDp: direct convolution with data parallelism (update w).
+	DDp SystemConfig = iota
+	// WDp: Winograd convolution with data parallelism (update w).
+	WDp
+	// WMp: Winograd convolution with MPT at fixed (16,16) (update W).
+	WMp
+	// WMpPred: WMp + activation prediction and zero-skipping.
+	WMpPred
+	// WMpDyn: WMp + dynamic clustering.
+	WMpDyn
+	// WMpFull: WMp + activation prediction/zero-skip + dynamic clustering
+	// (the paper's w_mp++).
+	WMpFull
+)
+
+// String returns the paper's abbreviation.
+func (c SystemConfig) String() string {
+	switch c {
+	case DDp:
+		return "d_dp"
+	case WDp:
+		return "w_dp"
+	case WMp:
+		return "w_mp"
+	case WMpPred:
+		return "w_mp+"
+	case WMpDyn:
+		return "w_mp*"
+	case WMpFull:
+		return "w_mp++"
+	default:
+		return fmt.Sprintf("config(%d)", int(c))
+	}
+}
+
+// AllConfigs returns Table IV in presentation order.
+func AllConfigs() []SystemConfig {
+	return []SystemConfig{DDp, WDp, WMp, WMpPred, WMpDyn, WMpFull}
+}
+
+// usesPrediction reports whether the config applies Section V reductions.
+func (c SystemConfig) usesPrediction() bool { return c == WMpPred || c == WMpFull }
+
+// usesDynamicClustering reports whether the config re-wires per layer.
+func (c SystemConfig) usesDynamicClustering() bool { return c == WMpDyn || c == WMpFull }
+
+// isMPT reports whether workers are organized in two dimensions.
+func (c SystemConfig) isMPT() bool { return c >= WMp }
+
+// System bundles the hardware parameters of one simulated machine.
+type System struct {
+	Workers int        // p (256 in the paper)
+	NDP     ndp.Config // per-worker compute/DRAM model
+	Energy  energy.Params
+
+	// Link budget per worker, one direction (Table III: four full-width
+	// links = 120 GB/s per direction). MPT splits it evenly between the
+	// collective rings and the tile-transfer FBFLY (Section VII-A).
+	LinkBW float64
+
+	// Reductions holds the Section V traffic-reduction fractions used by
+	// prediction-enabled configs.
+	Reductions comm.Reductions
+
+	// SerDesSec is the per-hop link latency (5 ns).
+	SerDesSec float64
+
+	// TileCongestion derates the tile-transfer bandwidth for switch-level
+	// effects the analytic model misses (head-of-line blocking, XY-route
+	// hotspots). Calibrated against the flit-level noc simulator: the
+	// measured FBFLY all-to-all time is ~2.4× the hop-weighted bandwidth
+	// bound, of which 1.6× is mean hop count, leaving ~1.5× congestion
+	// (see figures.NoCValidation).
+	TileCongestion float64
+
+	// ChunkBytes is the collective packet size (256 B).
+	ChunkBytes int
+}
+
+// DefaultSystem returns the paper's 256-worker evaluation machine.
+func DefaultSystem() System {
+	return System{
+		Workers:        256,
+		NDP:            ndp.DefaultConfig(),
+		Energy:         energy.DefaultParams(),
+		LinkBW:         120e9,
+		Reductions:     comm.PaperReductions(),
+		SerDesSec:      5e-9,
+		TileCongestion: 1.5,
+		ChunkBytes:     256,
+	}
+}
+
+// ringBW returns the per-worker outgoing bandwidth available to weight
+// collectives under the config: data-parallel configs use all four links
+// as rings; MPT gives half to the FBFLY.
+func (s System) ringBW(c SystemConfig) float64 {
+	if c.isMPT() {
+		return s.LinkBW / 2
+	}
+	return s.LinkBW
+}
+
+// tileBW returns the per-worker outgoing bandwidth available to tile
+// transfer (zero for data-parallel configs, which have none).
+func (s System) tileBW(c SystemConfig) float64 {
+	if c.isMPT() {
+		return s.LinkBW / 2
+	}
+	return 0
+}

@@ -1,0 +1,57 @@
+package sim
+
+import (
+	"mptwino/internal/energy"
+	"mptwino/internal/model"
+)
+
+// NetworkResult aggregates a whole CNN's simulated training iteration
+// (the unit of Fig. 17/18).
+type NetworkResult struct {
+	Network string
+	Config  SystemConfig
+	Workers int
+
+	IterationSec float64
+	Energy       energy.Breakdown
+	Layers       []LayerResult
+
+	// ImagesPerSec is the training throughput at the network's batch size.
+	ImagesPerSec float64
+	// PowerW is the average system power over the iteration.
+	PowerW float64
+}
+
+// SimulateNetwork runs every layer of net under config c and sums the
+// iteration. Layer Repeat counts multiply both time and energy.
+func (s System) SimulateNetwork(net model.Network, c SystemConfig) NetworkResult {
+	res := NetworkResult{Network: net.Name, Config: c, Workers: s.Workers}
+	for _, l := range net.Layers {
+		lr := s.SimulateLayer(l, net.Batch, c)
+		rep := float64(l.EffectiveRepeat())
+		res.IterationSec += lr.TotalSec() * rep
+		res.Energy.Add(lr.Energy.Scale(rep))
+		res.Layers = append(res.Layers, lr)
+	}
+	if res.IterationSec > 0 {
+		res.ImagesPerSec = float64(net.Batch) / res.IterationSec
+		res.PowerW = res.Energy.Total() / res.IterationSec
+	}
+	return res
+}
+
+// SingleWorkerBaseline simulates the 1-NDP system Fig. 17 normalizes to:
+// the same worker hardware, no communication.
+func SingleWorkerBaseline(net model.Network) NetworkResult {
+	s := DefaultSystem()
+	s.Workers = 1
+	return s.SimulateNetwork(net, WDp)
+}
+
+// Speedup returns r's throughput relative to base.
+func Speedup(r, base NetworkResult) float64 {
+	if base.ImagesPerSec == 0 {
+		return 0
+	}
+	return r.ImagesPerSec / base.ImagesPerSec
+}

@@ -1,0 +1,381 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"math/rand"
+)
+
+func TestNewShapeAndIndexing(t *testing.T) {
+	x := New(2, 3, 4, 5)
+	if got := x.Len(); got != 120 {
+		t.Fatalf("Len = %d, want 120", got)
+	}
+	if got := x.Bytes(); got != 480 {
+		t.Fatalf("Bytes = %d, want 480", got)
+	}
+	x.Set(1, 2, 3, 4, 7.5)
+	if got := x.At(1, 2, 3, 4); got != 7.5 {
+		t.Fatalf("At = %v, want 7.5", got)
+	}
+	// Flat index of the last element must be Len-1.
+	if got := x.Index(1, 2, 3, 4); got != 119 {
+		t.Fatalf("Index = %d, want 119", got)
+	}
+}
+
+func TestNewPanicsOnBadShape(t *testing.T) {
+	for _, shape := range [][4]int{{0, 1, 1, 1}, {1, -1, 1, 1}, {1, 1, 0, 1}, {1, 1, 1, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%v) did not panic", shape)
+				}
+			}()
+			New(shape[0], shape[1], shape[2], shape[3])
+		}()
+	}
+}
+
+func TestFromSliceLengthCheck(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FromSlice with wrong length did not panic")
+		}
+	}()
+	FromSlice(1, 1, 2, 2, []float32{1, 2, 3})
+}
+
+func TestIndexIsRowMajorNCHW(t *testing.T) {
+	x := New(2, 2, 2, 2)
+	// W is fastest, then H, then C, then N.
+	if x.Index(0, 0, 0, 1) != 1 || x.Index(0, 0, 1, 0) != 2 ||
+		x.Index(0, 1, 0, 0) != 4 || x.Index(1, 0, 0, 0) != 8 {
+		t.Fatal("NCHW strides wrong")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	x := New(1, 1, 2, 2)
+	x.Set(0, 0, 0, 0, 1)
+	y := x.Clone()
+	y.Set(0, 0, 0, 0, 9)
+	if x.At(0, 0, 0, 0) != 1 {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+func TestAXPYAndScale(t *testing.T) {
+	x := FromSlice(1, 1, 1, 3, []float32{1, 2, 3})
+	y := FromSlice(1, 1, 1, 3, []float32{10, 20, 30})
+	x.AXPY(2, y)
+	want := []float32{21, 42, 63}
+	for i, w := range want {
+		if x.Data[i] != w {
+			t.Fatalf("AXPY[%d] = %v, want %v", i, x.Data[i], w)
+		}
+	}
+	x.Scale(0.5)
+	if x.Data[2] != 31.5 {
+		t.Fatalf("Scale: got %v, want 31.5", x.Data[2])
+	}
+}
+
+func TestAXPYShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AXPY with mismatched shapes did not panic")
+		}
+	}()
+	New(1, 1, 1, 2).AXPY(1, New(1, 1, 1, 3))
+}
+
+func TestMaxAbsDiffAndNorm(t *testing.T) {
+	x := FromSlice(1, 1, 1, 3, []float32{3, 0, 4})
+	y := FromSlice(1, 1, 1, 3, []float32{3, 1, 2})
+	if d := x.MaxAbsDiff(y); d != 2 {
+		t.Fatalf("MaxAbsDiff = %v, want 2", d)
+	}
+	if n := x.L2Norm(); math.Abs(n-5) > 1e-12 {
+		t.Fatalf("L2Norm = %v, want 5", n)
+	}
+}
+
+func TestZero(t *testing.T) {
+	x := FromSlice(1, 1, 1, 2, []float32{5, 6})
+	x.Zero()
+	if x.Data[0] != 0 || x.Data[1] != 0 {
+		t.Fatal("Zero did not clear")
+	}
+}
+
+func TestMatMulSmall(t *testing.T) {
+	a := MatFromSlice(2, 3, []float32{1, 2, 3, 4, 5, 6})
+	b := MatFromSlice(3, 2, []float32{7, 8, 9, 10, 11, 12})
+	c := MatMul(a, b)
+	want := []float32{58, 64, 139, 154}
+	for i, w := range want {
+		if c.Data[i] != w {
+			t.Fatalf("MatMul[%d] = %v, want %v", i, c.Data[i], w)
+		}
+	}
+}
+
+func TestMatMulIdentity(t *testing.T) {
+	r := NewRNG(1)
+	a := NewMat(4, 4)
+	for i := range a.Data {
+		a.Data[i] = float32(r.NormFloat64())
+	}
+	id := NewMat(4, 4)
+	for i := 0; i < 4; i++ {
+		id.Set(i, i, 1)
+	}
+	c := MatMul(a, id)
+	for i := range a.Data {
+		if c.Data[i] != a.Data[i] {
+			t.Fatal("A·I != A")
+		}
+	}
+}
+
+func TestMatMulInnerMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MatMul inner mismatch did not panic")
+		}
+	}()
+	MatMul(NewMat(2, 3), NewMat(2, 2))
+}
+
+func TestMatMulAccInto(t *testing.T) {
+	a := MatFromSlice(1, 2, []float32{1, 1})
+	b := MatFromSlice(2, 1, []float32{2, 3})
+	dst := MatFromSlice(1, 1, []float32{10})
+	MatMulAccInto(dst, a, b)
+	if dst.Data[0] != 15 {
+		t.Fatalf("MatMulAccInto = %v, want 15", dst.Data[0])
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	a := MatFromSlice(2, 3, []float32{1, 2, 3, 4, 5, 6})
+	at := a.T()
+	if at.Rows != 3 || at.Cols != 2 {
+		t.Fatalf("T shape = %dx%d", at.Rows, at.Cols)
+	}
+	if at.At(2, 1) != 6 || at.At(0, 1) != 4 {
+		t.Fatal("T values wrong")
+	}
+}
+
+func TestSandwich(t *testing.T) {
+	// l(1x2)·m(2x2)·r(2x1) = scalar 1x1
+	l := MatFromSlice(1, 2, []float32{1, 1})
+	m := MatFromSlice(2, 2, []float32{1, 2, 3, 4})
+	r := MatFromSlice(2, 1, []float32{1, 1})
+	s := Sandwich(l, m, r)
+	if s.Rows != 1 || s.Cols != 1 || s.Data[0] != 10 {
+		t.Fatalf("Sandwich = %v, want 10", s.Data)
+	}
+}
+
+// Property: (A·B)ᵀ = Bᵀ·Aᵀ for random small matrices.
+func TestMatMulTransposeProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := NewRNG(seed)
+		m, k, n := 1+r.Intn(5), 1+r.Intn(5), 1+r.Intn(5)
+		a, b := NewMat(m, k), NewMat(k, n)
+		for i := range a.Data {
+			a.Data[i] = float32(r.NormFloat64())
+		}
+		for i := range b.Data {
+			b.Data[i] = float32(r.NormFloat64())
+		}
+		lhs := MatMul(a, b).T()
+		rhs := MatMul(b.T(), a.T())
+		for i := range lhs.Data {
+			if math.Abs(float64(lhs.Data[i]-rhs.Data[i])) > 1e-4 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: matmul distributes over addition: A·(B+C) = A·B + A·C.
+func TestMatMulDistributive(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := NewRNG(seed)
+		m, k, n := 1+r.Intn(4), 1+r.Intn(4), 1+r.Intn(4)
+		a := NewMat(m, k)
+		b, c := NewMat(k, n), NewMat(k, n)
+		for i := range a.Data {
+			a.Data[i] = float32(r.NormFloat64())
+		}
+		for i := range b.Data {
+			b.Data[i] = float32(r.NormFloat64())
+			c.Data[i] = float32(r.NormFloat64())
+		}
+		sum := b.Clone()
+		for i := range sum.Data {
+			sum.Data[i] += c.Data[i]
+		}
+		lhs := MatMul(a, sum)
+		ab, ac := MatMul(a, b), MatMul(a, c)
+		for i := range lhs.Data {
+			if math.Abs(float64(lhs.Data[i]-(ab.Data[i]+ac.Data[i]))) > 1e-4 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same-seed RNGs diverged")
+		}
+	}
+	c := NewRNG(43)
+	if NewRNG(42).Uint64() == c.Uint64() {
+		t.Fatal("different seeds produced same first value")
+	}
+}
+
+func TestRNGNormalMoments(t *testing.T) {
+	r := NewRNG(7)
+	const n = 200000
+	var sum, sumsq float64
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Fatalf("normal mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Fatalf("normal variance = %v, want ~1", variance)
+	}
+}
+
+func TestRNGIntnBounds(t *testing.T) {
+	r := NewRNG(9)
+	seen := map[int]bool{}
+	for i := 0; i < 1000; i++ {
+		v := r.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 7 {
+		t.Fatalf("Intn(7) produced only %d distinct values in 1000 draws", len(seen))
+	}
+}
+
+func TestFillHeVariance(t *testing.T) {
+	r := NewRNG(11)
+	w := New(64, 32, 3, 3)
+	fanIn := 32 * 3 * 3
+	r.FillHe(w, fanIn)
+	var sumsq float64
+	for _, v := range w.Data {
+		sumsq += float64(v) * float64(v)
+	}
+	got := sumsq / float64(w.Len())
+	want := 2.0 / float64(fanIn)
+	if math.Abs(got-want)/want > 0.1 {
+		t.Fatalf("He variance = %v, want ~%v", got, want)
+	}
+}
+
+func TestFillUniformRange(t *testing.T) {
+	r := NewRNG(5)
+	x := New(1, 1, 10, 10)
+	r.FillUniform(x, -2, 3)
+	for _, v := range x.Data {
+		if v < -2 || v >= 3 {
+			t.Fatalf("uniform sample %v out of [-2,3)", v)
+		}
+	}
+}
+
+func TestMatInverse(t *testing.T) {
+	m := MatFromSlice(2, 2, []float32{4, 7, 2, 6})
+	inv, err := MatInverse(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := MatMul(m, inv)
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			want := float32(0)
+			if i == j {
+				want = 1
+			}
+			if math.Abs(float64(id.At(i, j)-want)) > 1e-5 {
+				t.Fatalf("M·M⁻¹ = %v", id.Data)
+			}
+		}
+	}
+}
+
+func TestMatInverseErrors(t *testing.T) {
+	if _, err := MatInverse(NewMat(2, 3)); err == nil {
+		t.Fatal("non-square accepted")
+	}
+	sing := MatFromSlice(2, 2, []float32{1, 2, 2, 4})
+	if _, err := MatInverse(sing); err == nil {
+		t.Fatal("singular matrix accepted")
+	}
+}
+
+// Property: inverse of random well-conditioned matrices round-trips.
+func TestMatInverseProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := NewRNG(seed)
+		n := 1 + r.Intn(4)
+		m := NewMat(n, n)
+		for i := range m.Data {
+			m.Data[i] = float32(r.NormFloat64())
+		}
+		// Diagonal dominance keeps it invertible and well-conditioned.
+		for i := 0; i < n; i++ {
+			m.Set(i, i, m.At(i, i)+float32(n)+1)
+		}
+		inv, err := MatInverse(m)
+		if err != nil {
+			return false
+		}
+		id := MatMul(inv, m)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				want := float32(0)
+				if i == j {
+					want = 1
+				}
+				if math.Abs(float64(id.At(i, j)-want)) > 1e-4 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Fatal(err)
+	}
+}

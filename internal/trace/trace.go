@@ -1,0 +1,63 @@
+// Package trace generates the synthetic workloads that stand in for the
+// paper's CIFAR/ImageNet data (DESIGN.md §2): Gaussian feature maps with
+// the statistics the paper observed for Winograd-domain values, and a
+// small learnable classification task used to train networks end to end.
+package trace
+
+import "mptwino/internal/tensor"
+
+// GaussianImages returns n C×H×W images of N(mean, sigma²) noise —
+// calibration data for quantizers and distribution studies.
+func GaussianImages(n, c, h, w int, mean, sigma float32, seed uint64) *tensor.Tensor {
+	rng := tensor.NewRNG(seed)
+	t := tensor.New(n, c, h, w)
+	rng.FillNormal(t, mean, sigma)
+	return t
+}
+
+// Dataset is a labeled image set.
+type Dataset struct {
+	Images *tensor.Tensor
+	Labels []int
+	// Classes is the number of distinct labels.
+	Classes int
+}
+
+// QuadrantBlobs synthesizes a 4-class task a small CNN can learn: each
+// image is Gaussian noise plus a bright blob in one quadrant; the label is
+// the quadrant. Feature maps are c channels of h×w (h, w even).
+func QuadrantBlobs(n, c, h, w int, seed uint64) Dataset {
+	rng := tensor.NewRNG(seed)
+	imgs := tensor.New(n, c, h, w)
+	rng.FillNormal(imgs, 0, 0.3)
+	labels := make([]int, n)
+	for i := 0; i < n; i++ {
+		q := rng.Intn(4)
+		labels[i] = q
+		h0, w0 := 0, 0
+		if q == 1 || q == 3 {
+			w0 = w / 2
+		}
+		if q >= 2 {
+			h0 = h / 2
+		}
+		for ch := 0; ch < c; ch++ {
+			for y := h0; y < h0+h/2; y++ {
+				for x := w0; x < w0+w/2; x++ {
+					imgs.Add(i, ch, y, x, 1.5)
+				}
+			}
+		}
+	}
+	return Dataset{Images: imgs, Labels: labels, Classes: 4}
+}
+
+// Batch extracts images [lo,hi) and their labels as a training minibatch.
+func (d Dataset) Batch(lo, hi int) (*tensor.Tensor, []int) {
+	n := hi - lo
+	c, h, w := d.Images.C, d.Images.H, d.Images.W
+	out := tensor.New(n, c, h, w)
+	stride := c * h * w
+	copy(out.Data, d.Images.Data[lo*stride:hi*stride])
+	return out, d.Labels[lo:hi]
+}

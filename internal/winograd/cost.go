@@ -1,0 +1,93 @@
+package winograd
+
+import (
+	"mptwino/internal/conv"
+)
+
+// Cost counts the algorithmic work and data volume of one Winograd
+// convolution phase, mirroring conv.Cost for the direct algorithm. It backs
+// Fig. 1 (Winograd reduces computation but increases data access) and the
+// DRAM-traffic side of the NDP timing model.
+type Cost struct {
+	DotMACs       int64 // element-wise dot-product MACs (the T² matmuls)
+	TransformMACs int64 // input/output/weight transform multiply-adds
+	TileBytes     int64 // Winograd-domain feature-map (tile) bytes moved
+	WeightBytes   int64 // Winograd-domain weight bytes |W|
+	SpatialBytes  int64 // spatial-domain feature-map bytes read/written
+}
+
+// MACs returns total multiply-accumulates.
+func (c Cost) MACs() int64 { return c.DotMACs + c.TransformMACs }
+
+// Bytes returns total data volume.
+func (c Cost) Bytes() int64 { return c.TileBytes + c.WeightBytes + c.SpatialBytes }
+
+// tiles returns the tile count per feature map for layer p under tr.
+func tilesPer(tr *Transform, p conv.Params) int64 {
+	m := tr.M
+	th := (p.OutH() + m - 1) / m
+	tw := (p.OutW() + m - 1) / m
+	return int64(th) * int64(tw)
+}
+
+// transform2DMACs is the multiply-add count of one 2-D transform step
+// l·x·r with an inner T dimension: two passes of matrix×matrix on small
+// tiles. For a rows×T input sandwiched to rows'×cols', it is
+// rows'·T·T (first stage) + rows'·cols'·T (second).
+func transform2DMACs(rowsOut, colsOut, t int64) int64 {
+	return rowsOut*t*t + rowsOut*colsOut*t
+}
+
+// FpropCost returns the Winograd fprop cost for layer p, batch b, under
+// transform tr, for the Fig. 2(b) Winograd-layer flow (weights already in
+// the Winograd domain, so no per-iteration weight transform).
+func FpropCost(tr *Transform, p conv.Params, b int) Cost {
+	t := int64(tr.T)
+	m := int64(tr.M)
+	nt := tilesPer(tr, p)
+	bi, ii, jj := int64(b), int64(p.In), int64(p.Out)
+
+	dot := t * t * (bi * nt) * ii * jj // T² matmuls of (B·t × I)·(I × J)
+	inT := bi * ii * nt * transform2DMACs(t, t, t)
+	outT := bi * jj * nt * transform2DMACs(m, m, t)
+	return Cost{
+		DotMACs:       dot,
+		TransformMACs: inT + outT,
+		TileBytes:     4 * (bi*ii*nt*t*t + bi*jj*nt*t*t), // X written+read, Y written+read (once each way counted once)
+		WeightBytes:   4 * ii * jj * t * t,
+		SpatialBytes:  4 * (bi*ii*int64(p.H)*int64(p.W) + bi*jj*int64(p.OutH())*int64(p.OutW())),
+	}
+}
+
+// BpropCost returns the Winograd bprop cost (symmetric with fprop: dy is
+// transformed in, dx is inverse-transformed out).
+func BpropCost(tr *Transform, p conv.Params, b int) Cost {
+	c := FpropCost(tr, p, b)
+	return c
+}
+
+// UpdateGradCost returns the Winograd-domain updateGrad cost: dW = Xᵀ·dY
+// per element. X and dY are already resident in the Winograd domain from
+// fprop/bprop; the dW output has the Winograd weight size.
+func UpdateGradCost(tr *Transform, p conv.Params, b int) Cost {
+	t := int64(tr.T)
+	nt := tilesPer(tr, p)
+	bi, ii, jj := int64(b), int64(p.In), int64(p.Out)
+	return Cost{
+		DotMACs:     t * t * ii * jj * (bi * nt),
+		TileBytes:   4 * (bi*ii*nt*t*t + bi*jj*nt*t*t), // X and dY re-read
+		WeightBytes: 4 * ii * jj * t * t,               // dW written
+	}
+}
+
+// Savings compares direct and Winograd costs for one layer/batch and
+// returns (computeReduction, accessIncrease) — the two sides of Fig. 1.
+// computeReduction > 1 means Winograd does less arithmetic; accessIncrease
+// > 1 means Winograd touches more bytes.
+func Savings(tr *Transform, p conv.Params, b int) (computeReduction, accessIncrease float64) {
+	dc := conv.FpropCost(p, b)
+	wc := FpropCost(tr, p, b)
+	computeReduction = float64(dc.MACs) / float64(wc.DotMACs)
+	accessIncrease = float64(wc.Bytes()) / float64(dc.Total())
+	return computeReduction, accessIncrease
+}

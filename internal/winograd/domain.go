@@ -1,0 +1,354 @@
+package winograd
+
+import (
+	"fmt"
+
+	"mptwino/internal/tensor"
+)
+
+// Domain is a batch of feature maps represented entirely in the Winograd
+// domain: for each of the T² tile-element positions (u,v) there is one
+// (B·tiles)×C matrix. This layout makes the paper's central observation
+// concrete — the dot products decompose into T² independent matrix
+// multiplications (Fig. 3(b)), one per element, with no computation between
+// different elements. MPT partitions exactly this El slice across groups.
+type Domain struct {
+	Tiling *Tiling
+	B      int           // batch size
+	C      int           // channels
+	El     []*tensor.Mat // length T²; each (B·tiles)×C
+}
+
+// Rows returns B·tiles, the row count of each element matrix.
+func (d *Domain) Rows() int { return d.B * d.Tiling.Tiles() }
+
+// newDomain allocates an all-zero Domain for the given tiling.
+func newDomain(tl *Tiling, b, c int) *Domain {
+	t2 := tl.Tr.T * tl.Tr.T
+	d := &Domain{Tiling: tl, B: b, C: c, El: make([]*tensor.Mat, t2)}
+	rows := b * tl.Tiles()
+	for e := range d.El {
+		d.El[e] = tensor.NewMat(rows, c)
+	}
+	return d
+}
+
+// row returns the element-matrix row index of (image b, tile th, tw).
+func (d *Domain) row(b, th, tw int) int {
+	return (b*d.Tiling.TilesH+th)*d.Tiling.TilesW + tw
+}
+
+// TransformInput lifts a spatial input tensor x (B,C,H,W matching the
+// tiling's layer geometry) into the Winograd domain: X = Bᵀ·x·B per tile.
+func (tl *Tiling) TransformInput(x *tensor.Tensor) *Domain {
+	if x.C != tl.P.In || x.H != tl.P.H || x.W != tl.P.W {
+		panic(fmt.Sprintf("winograd: input shape %s does not match layer I=%d %dx%d",
+			x.ShapeString(), tl.P.In, tl.P.H, tl.P.W))
+	}
+	d := newDomain(tl, x.N, x.C)
+	t := tl.Tr.T
+	patch := tensor.NewMat(t, t)
+	for b := 0; b < x.N; b++ {
+		for c := 0; c < x.C; c++ {
+			for th := 0; th < tl.TilesH; th++ {
+				for tw := 0; tw < tl.TilesW; tw++ {
+					tl.ExtractInputTile(patch, x, b, c, th, tw)
+					w := tl.Tr.InputToWinograd(patch)
+					row := d.row(b, th, tw)
+					for e, v := range w.Data {
+						d.El[e].Set(row, c, v)
+					}
+				}
+			}
+		}
+	}
+	return d
+}
+
+// TransformOutputGrad lifts a spatial output-gradient tensor dy into the
+// Winograd domain via the adjoint of the inverse output transform:
+// dY = A·dy·Aᵀ per tile.
+func (tl *Tiling) TransformOutputGrad(dy *tensor.Tensor) *Domain {
+	if dy.H != tl.P.OutH() || dy.W != tl.P.OutW() {
+		panic(fmt.Sprintf("winograd: dy shape %s does not match output %dx%d",
+			dy.ShapeString(), tl.P.OutH(), tl.P.OutW()))
+	}
+	d := newDomain(tl, dy.N, dy.C)
+	m := tl.Tr.M
+	patch := tensor.NewMat(m, m)
+	for b := 0; b < dy.N; b++ {
+		for c := 0; c < dy.C; c++ {
+			for th := 0; th < tl.TilesH; th++ {
+				for tw := 0; tw < tl.TilesW; tw++ {
+					tl.ExtractOutputTile(patch, dy, b, c, th, tw)
+					w := tl.Tr.OutputToWinograd(patch)
+					row := d.row(b, th, tw)
+					for e, v := range w.Data {
+						d.El[e].Set(row, c, v)
+					}
+				}
+			}
+		}
+	}
+	return d
+}
+
+// InverseOutput gathers a Winograd-domain output y-Domain into the spatial
+// output tensor: y = Aᵀ·Y·A per tile. This is the tile-gathering step whose
+// communication MPT must pay for (Section III-C).
+func (tl *Tiling) InverseOutput(d *Domain) *tensor.Tensor {
+	t := tl.Tr.T
+	y := tensor.New(d.B, d.C, tl.P.OutH(), tl.P.OutW())
+	tile := tensor.NewMat(t, t)
+	for b := 0; b < d.B; b++ {
+		for c := 0; c < d.C; c++ {
+			for th := 0; th < tl.TilesH; th++ {
+				for tw := 0; tw < tl.TilesW; tw++ {
+					row := d.row(b, th, tw)
+					for e := range d.El {
+						tile.Data[e] = d.El[e].At(row, c)
+					}
+					out := tl.Tr.OutputFromWinograd(tile)
+					tl.ScatterOutputTile(y, out, b, c, th, tw)
+				}
+			}
+		}
+	}
+	return y
+}
+
+// InverseInputGrad maps a Winograd-domain input-gradient Domain back to the
+// spatial domain via the adjoint of the input transform, accumulating
+// overlapping tile contributions: dx += B·dX·Bᵀ.
+func (tl *Tiling) InverseInputGrad(d *Domain) *tensor.Tensor {
+	t := tl.Tr.T
+	dx := tensor.New(d.B, d.C, tl.P.H, tl.P.W)
+	tile := tensor.NewMat(t, t)
+	for b := 0; b < d.B; b++ {
+		for c := 0; c < d.C; c++ {
+			for th := 0; th < tl.TilesH; th++ {
+				for tw := 0; tw < tl.TilesW; tw++ {
+					row := d.row(b, th, tw)
+					for e := range d.El {
+						tile.Data[e] = d.El[e].At(row, c)
+					}
+					out := tl.Tr.InputFromWinograd(tile)
+					tl.ScatterAddInputTile(dx, out, b, c, th, tw)
+				}
+			}
+		}
+	}
+	return dx
+}
+
+// Scale multiplies every element of the Domain by alpha in place and
+// returns d for chaining.
+func (d *Domain) Scale(alpha float32) *Domain {
+	for _, el := range d.El {
+		for i := range el.Data {
+			el.Data[i] *= alpha
+		}
+	}
+	return d
+}
+
+// AddDomain accumulates o into d elementwise. Shapes must match; this is
+// the paper's modified join operation (mean of Winograd-domain tiles,
+// Fig. 14) before the final Scale(1/n).
+func (d *Domain) AddDomain(o *Domain) {
+	if d.B != o.B || d.C != o.C || len(d.El) != len(o.El) {
+		panic(fmt.Sprintf("winograd: AddDomain shape mismatch B=%d/%d C=%d/%d", d.B, o.B, d.C, o.C))
+	}
+	for e := range d.El {
+		for i := range d.El[e].Data {
+			d.El[e].Data[i] += o.El[e].Data[i]
+		}
+	}
+}
+
+// AddOutputBias shifts every spatial-domain neuron that this output Domain
+// inverse-transforms to by exactly bias, by adding the lifted constant
+// tile to every (tile, channel) position.
+func (d *Domain) AddOutputBias(bias float32) {
+	l := d.Tiling.Tr.LiftOutputBias(bias)
+	for e := range d.El {
+		for i := range d.El[e].Data {
+			d.El[e].Data[i] += l.Data[e]
+		}
+	}
+}
+
+// Clone returns a deep copy of the Domain.
+func (d *Domain) Clone() *Domain {
+	out := newDomain(d.Tiling, d.B, d.C)
+	for e := range d.El {
+		copy(out.El[e].Data, d.El[e].Data)
+	}
+	return out
+}
+
+// Weights is a full set of layer weights in the Winograd domain: for each
+// tile element (u,v), an In×Out matrix W^{(u,v)} (paper eq. 2). The paper's
+// Winograd layer stores and updates these directly; MPT assigns each group
+// only its own subset of elements ("each part of the Winograd domain
+// weights is only used within the associated group").
+type Weights struct {
+	Tr      *Transform
+	In, Out int
+	El      []*tensor.Mat // length T²; each In×Out
+}
+
+// NewWeights allocates zero Winograd-domain weights.
+func NewWeights(tr *Transform, in, out int) *Weights {
+	t2 := tr.T * tr.T
+	w := &Weights{Tr: tr, In: in, Out: out, El: make([]*tensor.Mat, t2)}
+	for e := range w.El {
+		w.El[e] = tensor.NewMat(in, out)
+	}
+	return w
+}
+
+// TransformWeights lifts spatial weights (Out,In,r,r) into the Winograd
+// domain: W = G·w·Gᵀ per (i,j) filter.
+func TransformWeights(tr *Transform, w *tensor.Tensor) *Weights {
+	if w.H != tr.R || w.W != tr.R {
+		panic(fmt.Sprintf("winograd: weight shape %s does not match transform %s", w.ShapeString(), tr))
+	}
+	ww := NewWeights(tr, w.C, w.N)
+	f := tensor.NewMat(tr.R, tr.R)
+	for j := 0; j < w.N; j++ {
+		for i := 0; i < w.C; i++ {
+			for kh := 0; kh < tr.R; kh++ {
+				for kw := 0; kw < tr.R; kw++ {
+					f.Set(kh, kw, w.At(j, i, kh, kw))
+				}
+			}
+			wd := tr.FilterToWinograd(f)
+			for e, v := range wd.Data {
+				ww.El[e].Set(i, j, v)
+			}
+		}
+	}
+	return ww
+}
+
+// ToSpatialGrad maps Winograd-domain weight gradients back to spatial
+// weight gradients: dw = Gᵀ·dW·G per filter. Used by the Fig. 2(a) mode
+// where spatial weights are the trained parameters.
+func (w *Weights) ToSpatialGrad() *tensor.Tensor {
+	tr := w.Tr
+	out := tensor.New(w.Out, w.In, tr.R, tr.R)
+	tile := tensor.NewMat(tr.T, tr.T)
+	for j := 0; j < w.Out; j++ {
+		for i := 0; i < w.In; i++ {
+			for e := range w.El {
+				tile.Data[e] = w.El[e].At(i, j)
+			}
+			g := tr.FilterFromWinograd(tile)
+			for kh := 0; kh < tr.R; kh++ {
+				for kw := 0; kw < tr.R; kw++ {
+					out.Set(j, i, kh, kw, g.At(kh, kw))
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Clone returns a deep copy of the weights.
+func (w *Weights) Clone() *Weights {
+	out := NewWeights(w.Tr, w.In, w.Out)
+	for e := range w.El {
+		copy(out.El[e].Data, w.El[e].Data)
+	}
+	return out
+}
+
+// AXPY accumulates alpha·o into w elementwise (the SGD update in the
+// Winograd domain).
+func (w *Weights) AXPY(alpha float32, o *Weights) {
+	for e := range w.El {
+		for i := range w.El[e].Data {
+			w.El[e].Data[i] += alpha * o.El[e].Data[i]
+		}
+	}
+}
+
+// Bytes returns the Winograd-domain weight storage size |W| in bytes.
+func (w *Weights) Bytes() int64 {
+	return int64(len(w.El)) * int64(w.In) * int64(w.Out) * 4
+}
+
+// MulForward computes Y = X·W per element: the T² independent matrix
+// multiplications of fprop. elements selects which tile elements to
+// compute (nil = all), which is how MPT restricts a worker to its group's
+// elements.
+func MulForward(x *Domain, w *Weights, elements []int) *Domain {
+	y := newDomain(x.Tiling, x.B, w.Out)
+	for _, e := range elemRange(len(x.El), elements) {
+		tensor.MatMulInto(y.El[e], x.El[e], w.El[e])
+	}
+	return y
+}
+
+// MulBackward computes dX = dY·Wᵀ per element: the bprop dot products.
+func MulBackward(dy *Domain, w *Weights, elements []int) *Domain {
+	dx := newDomain(dy.Tiling, dy.B, w.In)
+	for _, e := range elemRange(len(dy.El), elements) {
+		tensor.MatMulInto(dx.El[e], dy.El[e], w.El[e].T())
+	}
+	return dx
+}
+
+// MulGrad computes dW = Xᵀ·dY per element: the updateGrad dot products in
+// the Winograd domain (Fig. 2(b), update-W).
+func MulGrad(x, dy *Domain, elements []int) *Weights {
+	dw := NewWeights(x.Tiling.Tr, x.C, dy.C)
+	for _, e := range elemRange(len(x.El), elements) {
+		tensor.MatMulInto(dw.El[e], x.El[e].T(), dy.El[e])
+	}
+	return dw
+}
+
+// elemRange expands a nil element selection to all T² indices.
+func elemRange(t2 int, elements []int) []int {
+	if elements != nil {
+		return elements
+	}
+	all := make([]int, t2)
+	for i := range all {
+		all[i] = i
+	}
+	return all
+}
+
+// GroupElements returns the tile-element indices owned by group g out of ng
+// groups for a transform with tile size t (row-major (u,v) order). Elements
+// are assigned in contiguous runs so that, when ng divides t, each group
+// holds whole tile lines — the condition that enables the 1-D transform /
+// 1-D predict optimization of Sections IV and V.
+func GroupElements(t, ng, g int) []int {
+	t2 := t * t
+	if ng <= 0 || g < 0 || g >= ng {
+		panic(fmt.Sprintf("winograd: bad group %d of %d", g, ng))
+	}
+	lo := g * t2 / ng
+	hi := (g + 1) * t2 / ng
+	out := make([]int, 0, hi-lo)
+	for e := lo; e < hi; e++ {
+		out = append(out, e)
+	}
+	return out
+}
+
+// HoldsWholeLines reports whether each group's element set under
+// GroupElements consists of complete tile rows, enabling the 1-D transform
+// optimization (true for the paper's 4-group configuration with T=4).
+func HoldsWholeLines(t, ng int) bool {
+	t2 := t * t
+	if t2%ng != 0 {
+		return false
+	}
+	per := t2 / ng
+	return per%t == 0
+}

@@ -1,0 +1,139 @@
+package winograd
+
+import (
+	"mptwino/internal/conv"
+	"mptwino/internal/tensor"
+)
+
+// Fprop computes the convolution forward pass through the Winograd domain
+// with spatial weights w (Fig. 2(a)): transform, T² element matmuls,
+// inverse transform. It is numerically equivalent to conv.Fprop (verified
+// in tests) at ~(T/ m·K)² fewer multiplications in the dot-product stage.
+func Fprop(tr *Transform, p conv.Params, x, w *tensor.Tensor) *tensor.Tensor {
+	tl, err := NewTiling(tr, p)
+	if err != nil {
+		panic(err)
+	}
+	xd := tl.TransformInput(x)
+	wd := TransformWeights(tr, w)
+	yd := MulForward(xd, wd, nil)
+	return tl.InverseOutput(yd)
+}
+
+// Bprop computes dx through the Winograd domain with spatial weights.
+func Bprop(tr *Transform, p conv.Params, dy, w *tensor.Tensor) *tensor.Tensor {
+	tl, err := NewTiling(tr, p)
+	if err != nil {
+		panic(err)
+	}
+	dyd := tl.TransformOutputGrad(dy)
+	wd := TransformWeights(tr, w)
+	dxd := MulBackward(dyd, wd, nil)
+	return tl.InverseInputGrad(dxd)
+}
+
+// UpdateGrad computes the spatial weight gradient dw through the Winograd
+// domain: dW = Xᵀ·dY per element, then dw = Gᵀ·dW·G.
+func UpdateGrad(tr *Transform, p conv.Params, x, dy *tensor.Tensor) *tensor.Tensor {
+	tl, err := NewTiling(tr, p)
+	if err != nil {
+		panic(err)
+	}
+	xd := tl.TransformInput(x)
+	dyd := tl.TransformOutputGrad(dy)
+	dwd := MulGrad(xd, dyd, nil)
+	return dwd.ToSpatialGrad()
+}
+
+// Layer is the paper's Winograd layer (Fig. 2(b), [29]): the trained
+// parameters are the Winograd-domain weights W themselves, updated directly
+// in the Winograd domain. This removes the per-iteration weight transform
+// and is the form MPT partitions across groups.
+type Layer struct {
+	Tiling *Tiling
+	W      *Weights
+
+	// cached forward-pass Winograd-domain input, needed by UpdateGradW;
+	// mirrors the NDP design where X tiles stay resident in local DRAM.
+	lastX *Domain
+}
+
+// NewLayer builds a Winograd layer for geometry p, initializing W from a
+// spatial He-initialized filter (transformed once at construction, as the
+// paper's training flow does at the start).
+func NewLayer(tr *Transform, p conv.Params, rng *tensor.RNG) (*Layer, error) {
+	tl, err := NewTiling(tr, p)
+	if err != nil {
+		return nil, err
+	}
+	ws := tensor.New(p.Out, p.In, p.K, p.K)
+	rng.FillHe(ws, p.In*p.K*p.K)
+	return &Layer{Tiling: tl, W: TransformWeights(tr, ws)}, nil
+}
+
+// NewLayerWithWeights builds a Winograd layer whose W is the transform of
+// the given spatial weights (for equivalence testing against direct conv).
+func NewLayerWithWeights(tr *Transform, p conv.Params, w *tensor.Tensor) (*Layer, error) {
+	tl, err := NewTiling(tr, p)
+	if err != nil {
+		return nil, err
+	}
+	return &Layer{Tiling: tl, W: TransformWeights(tr, w)}, nil
+}
+
+// Fprop runs the forward pass and caches the Winograd-domain input for the
+// later UpdateGradW call of the same iteration.
+func (l *Layer) Fprop(x *tensor.Tensor) *tensor.Tensor {
+	xd := l.Tiling.TransformInput(x)
+	l.lastX = xd
+	yd := MulForward(xd, l.W, nil)
+	return l.Tiling.InverseOutput(yd)
+}
+
+// Bprop returns dx for the given dy using the current W.
+func (l *Layer) Bprop(dy *tensor.Tensor) *tensor.Tensor {
+	dyd := l.Tiling.TransformOutputGrad(dy)
+	dxd := MulBackward(dyd, l.W, nil)
+	return l.Tiling.InverseInputGrad(dxd)
+}
+
+// UpdateGradW returns the Winograd-domain weight gradient dW for dy, using
+// the input cached by the last Fprop. It panics if Fprop has not run.
+func (l *Layer) UpdateGradW(dy *tensor.Tensor) *Weights {
+	if l.lastX == nil {
+		panic("winograd: UpdateGradW before Fprop")
+	}
+	dyd := l.Tiling.TransformOutputGrad(dy)
+	return MulGrad(l.lastX, dyd, nil)
+}
+
+// Step applies the SGD update W -= lr·dW directly in the Winograd domain.
+func (l *Layer) Step(lr float32, dw *Weights) {
+	l.W.AXPY(-lr, dw)
+}
+
+// FpropDomain runs the forward pass but stops before the inverse output
+// transform, returning the Winograd-domain output Y. The paper's modified
+// join (Fig. 14) averages these domains across FractalNet columns so only
+// the joined result pays the inverse transform and tile gathering.
+func (l *Layer) FpropDomain(x *tensor.Tensor) *Domain {
+	xd := l.Tiling.TransformInput(x)
+	l.lastX = xd
+	return MulForward(xd, l.W, nil)
+}
+
+// BpropDomain returns dx for a Winograd-domain output gradient dY (e.g.
+// the split gradient of a modified join).
+func (l *Layer) BpropDomain(dyd *Domain) *tensor.Tensor {
+	dxd := MulBackward(dyd, l.W, nil)
+	return l.Tiling.InverseInputGrad(dxd)
+}
+
+// UpdateGradWDomain returns dW for a Winograd-domain output gradient,
+// using the input cached by the last Fprop/FpropDomain.
+func (l *Layer) UpdateGradWDomain(dyd *Domain) *Weights {
+	if l.lastX == nil {
+		panic("winograd: UpdateGradWDomain before Fprop")
+	}
+	return MulGrad(l.lastX, dyd, nil)
+}

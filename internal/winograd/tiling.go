@@ -1,0 +1,127 @@
+package winograd
+
+import (
+	"fmt"
+
+	"mptwino/internal/conv"
+	"mptwino/internal/tensor"
+)
+
+// Tiling decomposes a convolution layer's feature maps into the overlapping
+// T×T input tiles / m×m output tiles of the tile-based Winograd algorithm
+// (Section II-B). Input tiles advance with stride m and overlap by r−1;
+// out-of-range taps are zero (the layer's padding).
+type Tiling struct {
+	Tr *Transform
+	P  conv.Params
+
+	TilesH, TilesW int // tile grid dimensions
+}
+
+// NewTiling validates the layer geometry against the transform and returns
+// the tile decomposition.
+func NewTiling(tr *Transform, p conv.Params) (*Tiling, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if p.K != tr.R {
+		return nil, fmt.Errorf("winograd: kernel %dx%d does not match transform %s", p.K, p.K, tr)
+	}
+	m := tr.M
+	return &Tiling{
+		Tr:     tr,
+		P:      p,
+		TilesH: (p.OutH() + m - 1) / m,
+		TilesW: (p.OutW() + m - 1) / m,
+	}, nil
+}
+
+// Tiles returns the number of tiles per feature map (the paper's t).
+func (tl *Tiling) Tiles() int { return tl.TilesH * tl.TilesW }
+
+// tileOrigin returns the top-left input coordinate (possibly negative, in
+// the padding) covered by tile (th, tw).
+func (tl *Tiling) tileOrigin(th, tw int) (ih, iw int) {
+	return th*tl.Tr.M - tl.P.Pad, tw*tl.Tr.M - tl.P.Pad
+}
+
+// ExtractInputTile copies the T×T input patch for tile (th,tw) of image b,
+// channel c, into dst (a T×T matrix), zero-filling taps that fall in the
+// padding.
+func (tl *Tiling) ExtractInputTile(dst *tensor.Mat, x *tensor.Tensor, b, c, th, tw int) {
+	t := tl.Tr.T
+	oh, ow := tl.tileOrigin(th, tw)
+	for r := 0; r < t; r++ {
+		ih := oh + r
+		for cc := 0; cc < t; cc++ {
+			iw := ow + cc
+			var v float32
+			if ih >= 0 && ih < tl.P.H && iw >= 0 && iw < tl.P.W {
+				v = x.At(b, c, ih, iw)
+			}
+			dst.Set(r, cc, v)
+		}
+	}
+}
+
+// ScatterAddInputTile accumulates a T×T spatial-domain tile (e.g. a dx
+// contribution from bprop) back into x at tile (th,tw), skipping padding
+// positions. Overlapping tiles therefore sum, which is exactly the adjoint
+// of ExtractInputTile.
+func (tl *Tiling) ScatterAddInputTile(x *tensor.Tensor, src *tensor.Mat, b, c, th, tw int) {
+	t := tl.Tr.T
+	oh, ow := tl.tileOrigin(th, tw)
+	for r := 0; r < t; r++ {
+		ih := oh + r
+		if ih < 0 || ih >= tl.P.H {
+			continue
+		}
+		for cc := 0; cc < t; cc++ {
+			iw := ow + cc
+			if iw < 0 || iw >= tl.P.W {
+				continue
+			}
+			x.Add(b, c, ih, iw, src.At(r, cc))
+		}
+	}
+}
+
+// ExtractOutputTile copies the m×m output patch for tile (th,tw) into dst,
+// zero-filling positions past the output boundary (tiles at the right and
+// bottom edge may be partial).
+func (tl *Tiling) ExtractOutputTile(dst *tensor.Mat, y *tensor.Tensor, b, c, th, tw int) {
+	m := tl.Tr.M
+	oh, ow := tl.P.OutH(), tl.P.OutW()
+	for r := 0; r < m; r++ {
+		yy := th*m + r
+		for cc := 0; cc < m; cc++ {
+			xx := tw*m + cc
+			var v float32
+			if yy < oh && xx < ow {
+				v = y.At(b, c, yy, xx)
+			}
+			dst.Set(r, cc, v)
+		}
+	}
+}
+
+// ScatterOutputTile writes an m×m output tile into y at tile (th,tw),
+// dropping positions past the output boundary. Output tiles do not
+// overlap, so this is a plain store.
+func (tl *Tiling) ScatterOutputTile(y *tensor.Tensor, src *tensor.Mat, b, c, th, tw int) {
+	m := tl.Tr.M
+	oh, ow := tl.P.OutH(), tl.P.OutW()
+	for r := 0; r < m; r++ {
+		yy := th*m + r
+		if yy >= oh {
+			break
+		}
+		for cc := 0; cc < m; cc++ {
+			xx := tw*m + cc
+			if xx >= ow {
+				break
+			}
+			y.Set(b, c, yy, xx, src.At(r, cc))
+		}
+	}
+}
