@@ -1,0 +1,25 @@
+# Developer entry points. `make verify` is the gate every change must pass:
+# it builds all packages, runs vet, and runs the full test suite under the
+# race detector.
+
+GO ?= go
+
+.PHONY: verify build vet test race fuzz
+
+verify: build vet race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Short fuzz pass over the activation-predictor safety invariant.
+fuzz:
+	$(GO) test -fuzz=FuzzPredictorNeverUnderestimates -fuzztime=30s ./internal/quant/

@@ -8,12 +8,15 @@
 //	mptsim -net fractalnet -config w_mp++          # whole CNN
 //	mptsim -net wrn -config all -workers 64        # every Table IV config
 //	mptsim -layer Mid-1 -k 5 -batch 512            # 5x5 kernels
+//	mptsim -net wrn -faults 17                     # module 17 fails; show recovery
+//	mptsim -net wrn -faults 3,7,200 -config w_mp*  # multiple failures
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"mptwino/internal/model"
@@ -28,6 +31,7 @@ func main() {
 	batch := flag.Int("batch", 256, "total batch size (layer mode only; networks use their catalog batch)")
 	k := flag.Int("k", 3, "kernel size for layer mode: 3 or 5")
 	breakdown := flag.Bool("breakdown", false, "layer mode: show per-resource durations and the binding resource")
+	faults := flag.String("faults", "", "net mode: comma-separated failed module IDs; re-solves clustering over the survivors and reports healthy vs degraded")
 	flag.Parse()
 
 	s := sim.DefaultSystem()
@@ -67,6 +71,14 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
+		if *faults != "" {
+			failed, err := parseFaults(*faults)
+			if err != nil {
+				fail(err)
+			}
+			runFaults(s, net, cfgs, failed)
+			return
+		}
 		base := sim.SingleWorkerBaseline(net)
 		fmt.Printf("%s: batch %d, %d layer entries, %.1fM params, 1-NDP baseline %.1f img/s\n",
 			net.Name, net.Batch, len(net.Layers), float64(net.ParamCount())/1e6, base.ImagesPerSec)
@@ -81,6 +93,49 @@ func main() {
 	default:
 		fail(fmt.Errorf("specify -layer or -net (see -h)"))
 	}
+}
+
+// runFaults prints the fault-recovery comparison: the same network
+// simulated healthy and after the listed module failures, with the
+// dynamic-clustering optimizer re-solving the grid over the survivors.
+func runFaults(s sim.System, net model.Network, cfgs []sim.SystemConfig, failed []int) {
+	fmt.Printf("%s: %d workers, %d failed module(s) %v\n", net.Name, s.Workers, len(failed), failed)
+	fmt.Printf("%-7s %9s %14s %14s %9s %9s %14s\n",
+		"config", "survivors", "healthy (ms)", "degraded (ms)", "slowdown", "grid", "reconfig (us)")
+	for _, c := range cfgs {
+		r, err := s.SimulateNetworkWithFailure(net, c, failed)
+		if err != nil {
+			fail(err)
+		}
+		// Report the grid the first (largest) layer settled on.
+		grid := "-"
+		if len(r.Degraded.Layers) > 0 {
+			lr := r.Degraded.Layers[0]
+			grid = fmt.Sprintf("(%d,%d)", lr.Ng, lr.Nc)
+		}
+		fmt.Printf("%-7s %9d %14.2f %14.2f %8.2fx %9s %14.1f\n",
+			c, r.Survivors, r.Healthy.IterationSec*1e3, r.Degraded.IterationSec*1e3,
+			r.Slowdown(), grid, r.ReconfigSec*1e6)
+	}
+}
+
+func parseFaults(list string) ([]int, error) {
+	var out []int
+	for _, tok := range strings.Split(list, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		v, err := strconv.Atoi(tok)
+		if err != nil {
+			return nil, fmt.Errorf("bad module id %q in -faults", tok)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-faults given but no module ids parsed")
+	}
+	return out, nil
 }
 
 func printBreakdown(pass string, b sim.Breakdown) {

@@ -54,6 +54,23 @@ func DefaultConfigs(p int) []ClusterConfig {
 	return out
 }
 
+// SurvivorConfigs returns the best (Ng, Nc) wirings achievable with p
+// surviving workers after module failures — the graceful-degradation menu
+// the fault-recovery path re-solves over. Unlike DefaultConfigs it does not
+// require Ng to divide p: the grid uses Ng·⌊p/Ng⌋ workers and idles the
+// remainder (e.g. 255 survivors offer (16,15) using 240 workers, (4,63)
+// using 252, and (1,255) using all). For a fully healthy, divisible p it
+// degenerates to exactly DefaultConfigs.
+func SurvivorConfigs(p int) []ClusterConfig {
+	var out []ClusterConfig
+	for _, ng := range []int{16, 4, 1} {
+		if nc := p / ng; nc >= 1 {
+			out = append(out, ClusterConfig{Ng: ng, Nc: nc})
+		}
+	}
+	return out
+}
+
 // Reductions carries the Section-V traffic-reduction fractions to apply
 // when activation prediction / zero-skipping is enabled. The Get method
 // picks the 1-D or 2-D figures by whether the group count gives each

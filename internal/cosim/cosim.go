@@ -124,6 +124,9 @@ func New(spec Spec) (*Cosim, error) {
 	if spec.Ng > spec.Tr.T*spec.Tr.T {
 		return nil, fmt.Errorf("cosim: %d groups exceed %d tile elements", spec.Ng, spec.Tr.T*spec.Tr.T)
 	}
+	if err := spec.Net.Validate(); err != nil {
+		return nil, err
+	}
 	g := topology.Hybrid(spec.Ng, spec.Nc, false)
 	c := &Cosim{spec: spec, net: noc.New(g, spec.Net)}
 	for id := 0; id < spec.Ng*spec.Nc; id++ {

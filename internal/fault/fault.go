@@ -1,0 +1,215 @@
+// Package fault models an imperfect memory-centric fabric: a deterministic,
+// seed-driven fault plan that the flit-level simulator (internal/noc), the
+// topology layer, and the system simulator (internal/sim) all consult. Three
+// fault classes cover the failure modes of a 256-module HMC-like deployment:
+//
+//   - link degradation: a SerDes link loses bandwidth (lane failures) or
+//     gains extra serialization cycles (retraining, voltage/thermal
+//     throttling) over a cycle window;
+//   - transient flit drops: a link corrupts flits with a per-flit
+//     probability over a window (CRC failures), which the NoC recovers from
+//     with timeout-and-retransmit;
+//   - permanent module failures: a node dies at a scheduled cycle; the
+//     fabric must reroute around it and the training system must re-cluster
+//     onto the survivors.
+//
+// Determinism contract: every probabilistic decision is a pure function of
+// (Seed, link endpoints, cycle, per-cycle flit index). The same plan and
+// seed therefore produce byte-identical simulation results — the property
+// the recovery tests and the paper-style reproducibility of the repo rely
+// on. No global RNG state is consumed.
+package fault
+
+import (
+	"fmt"
+	"sort"
+)
+
+// LinkFault describes one directed-link impairment over a cycle window.
+// Zero values are inert: Scale 0 is interpreted as "no bandwidth change"
+// only when neither degradation field is set (see Active/Degrades).
+type LinkFault struct {
+	From, To int // directed endpoints (the builders add both directions)
+
+	// Start and End bound the active cycle window [Start, End). End <= 0
+	// means the fault never clears.
+	Start, End int64
+
+	// BandwidthScale multiplies the link's flits/cycle while active
+	// (0 < scale < 1 degrades; exactly 0 means "field unset" — use DropProb
+	// or a scheduled node failure to kill a link outright).
+	BandwidthScale float64
+	// ExtraSerDes adds per-hop serialization cycles while active.
+	ExtraSerDes int
+	// DropProb is the per-flit corruption probability while active.
+	DropProb float64
+}
+
+// ActiveAt reports whether the fault window covers the cycle.
+func (f LinkFault) ActiveAt(cycle int64) bool {
+	return cycle >= f.Start && (f.End <= 0 || cycle < f.End)
+}
+
+// Matches reports whether the fault applies to the directed link a→b.
+func (f LinkFault) Matches(a, b int) bool { return f.From == a && f.To == b }
+
+// NodeFault is a permanent module failure: node Node is dead from cycle At
+// onward. The NoC removes it from the fabric and reroutes; the system layer
+// re-solves clustering for the survivors.
+type NodeFault struct {
+	Node int
+	At   int64
+}
+
+// Plan is a complete deterministic fault schedule for one simulation run.
+type Plan struct {
+	Seed  uint64
+	Links []LinkFault
+	Nodes []NodeFault
+}
+
+// NewPlan returns an empty plan with the given seed.
+func NewPlan(seed uint64) *Plan { return &Plan{Seed: seed} }
+
+// DegradeLink adds a bidirectional bandwidth/latency degradation.
+func (p *Plan) DegradeLink(a, b int, start, end int64, scale float64, extraSerDes int) *Plan {
+	p.Links = append(p.Links,
+		LinkFault{From: a, To: b, Start: start, End: end, BandwidthScale: scale, ExtraSerDes: extraSerDes},
+		LinkFault{From: b, To: a, Start: start, End: end, BandwidthScale: scale, ExtraSerDes: extraSerDes})
+	return p
+}
+
+// DropOnLink adds a bidirectional transient flit-drop fault.
+func (p *Plan) DropOnLink(a, b int, start, end int64, prob float64) *Plan {
+	p.Links = append(p.Links,
+		LinkFault{From: a, To: b, Start: start, End: end, DropProb: prob},
+		LinkFault{From: b, To: a, Start: start, End: end, DropProb: prob})
+	return p
+}
+
+// FailNode schedules a permanent module failure.
+func (p *Plan) FailNode(node int, at int64) *Plan {
+	p.Nodes = append(p.Nodes, NodeFault{Node: node, At: at})
+	return p
+}
+
+// Validate checks the plan against an n-node fabric.
+func (p *Plan) Validate(n int) error {
+	for i, lf := range p.Links {
+		if lf.From < 0 || lf.From >= n || lf.To < 0 || lf.To >= n || lf.From == lf.To {
+			return fmt.Errorf("fault: link fault %d has bad endpoints %d->%d (n=%d)", i, lf.From, lf.To, n)
+		}
+		if lf.DropProb < 0 || lf.DropProb > 1 {
+			return fmt.Errorf("fault: link fault %d has drop probability %v outside [0,1]", i, lf.DropProb)
+		}
+		if lf.BandwidthScale < 0 || lf.BandwidthScale > 1 {
+			return fmt.Errorf("fault: link fault %d has bandwidth scale %v outside [0,1]", i, lf.BandwidthScale)
+		}
+		if lf.ExtraSerDes < 0 {
+			return fmt.Errorf("fault: link fault %d has negative extra SerDes %d", i, lf.ExtraSerDes)
+		}
+		if lf.End > 0 && lf.End <= lf.Start {
+			return fmt.Errorf("fault: link fault %d has empty window [%d,%d)", i, lf.Start, lf.End)
+		}
+	}
+	for i, nf := range p.Nodes {
+		if nf.Node < 0 || nf.Node >= n {
+			return fmt.Errorf("fault: node fault %d names node %d (n=%d)", i, nf.Node, n)
+		}
+		if nf.At < 0 {
+			return fmt.Errorf("fault: node fault %d has negative cycle %d", i, nf.At)
+		}
+	}
+	return nil
+}
+
+// LinkFaultsFor returns the plan's faults on the directed link a→b, in plan
+// order (the NoC caches this per link at attach time).
+func (p *Plan) LinkFaultsFor(a, b int) []LinkFault {
+	var out []LinkFault
+	for _, lf := range p.Links {
+		if lf.Matches(a, b) {
+			out = append(out, lf)
+		}
+	}
+	return out
+}
+
+// NodeFailuresSorted returns the scheduled module failures ordered by cycle
+// (stable on node id for equal cycles), deduplicated per node to the
+// earliest failure.
+func (p *Plan) NodeFailuresSorted() []NodeFault {
+	earliest := make(map[int]int64)
+	for _, nf := range p.Nodes {
+		if at, ok := earliest[nf.Node]; !ok || nf.At < at {
+			earliest[nf.Node] = nf.At
+		}
+	}
+	out := make([]NodeFault, 0, len(earliest))
+	for node, at := range earliest {
+		out = append(out, NodeFault{Node: node, At: at})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].At != out[j].At {
+			return out[i].At < out[j].At
+		}
+		return out[i].Node < out[j].Node
+	})
+	return out
+}
+
+// FailedBy returns the nodes dead at or before the cycle, ascending.
+func (p *Plan) FailedBy(cycle int64) []int {
+	var out []int
+	for _, nf := range p.NodeFailuresSorted() {
+		if nf.At <= cycle {
+			out = append(out, nf.Node)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// LinkState folds every active fault on the directed link a→b at the cycle
+// into an effective (bandwidth scale, extra SerDes cycles) pair. Scales
+// multiply; extra latency adds. Faults with no degradation fields set (pure
+// drop faults) leave the state untouched.
+func LinkState(faults []LinkFault, cycle int64) (scale float64, extra int) {
+	scale = 1
+	for _, lf := range faults {
+		if !lf.ActiveAt(cycle) {
+			continue
+		}
+		if lf.BandwidthScale > 0 {
+			scale *= lf.BandwidthScale
+		}
+		extra += lf.ExtraSerDes
+	}
+	return scale, extra
+}
+
+// DropFlit decides — deterministically in (seed, link, cycle, idx) — whether
+// the idx-th flit transmitted on the directed link a→b this cycle is
+// corrupted by any active drop fault.
+func DropFlit(seed uint64, faults []LinkFault, a, b int, cycle int64, idx int) bool {
+	for _, lf := range faults {
+		if lf.DropProb <= 0 || !lf.ActiveAt(cycle) {
+			continue
+		}
+		if Uniform(seed, uint64(a)<<40|uint64(b)<<16|uint64(idx), uint64(cycle)) < lf.DropProb {
+			return true
+		}
+	}
+	return false
+}
+
+// Uniform hashes (seed, a, b) to a float64 in [0, 1) with SplitMix64 —
+// the shared deterministic randomness primitive of the fault model.
+func Uniform(seed, a, b uint64) float64 {
+	z := seed ^ (a * 0x9e3779b97f4a7c15) ^ (b * 0xbf58476d1ce4e5b9)
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return float64(z>>11) / float64(1<<53)
+}

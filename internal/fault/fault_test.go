@@ -1,0 +1,136 @@
+package fault
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLinkFaultWindow(t *testing.T) {
+	f := LinkFault{From: 0, To: 1, Start: 10, End: 20}
+	for _, tc := range []struct {
+		cycle int64
+		want  bool
+	}{{9, false}, {10, true}, {19, true}, {20, false}} {
+		if got := f.ActiveAt(tc.cycle); got != tc.want {
+			t.Errorf("ActiveAt(%d) = %v, want %v", tc.cycle, got, tc.want)
+		}
+	}
+	forever := LinkFault{Start: 5, End: 0}
+	if !forever.ActiveAt(1 << 40) {
+		t.Error("End<=0 fault should never clear")
+	}
+	if forever.ActiveAt(4) {
+		t.Error("fault active before its start")
+	}
+}
+
+func TestBuildersAddBothDirections(t *testing.T) {
+	p := NewPlan(1).DegradeLink(2, 5, 0, 0, 0.5, 3).DropOnLink(1, 4, 0, 100, 0.1)
+	if len(p.LinkFaultsFor(2, 5)) != 1 || len(p.LinkFaultsFor(5, 2)) != 1 {
+		t.Fatal("DegradeLink did not cover both directions")
+	}
+	if len(p.LinkFaultsFor(1, 4)) != 1 || len(p.LinkFaultsFor(4, 1)) != 1 {
+		t.Fatal("DropOnLink did not cover both directions")
+	}
+	if len(p.LinkFaultsFor(2, 4)) != 0 {
+		t.Fatal("LinkFaultsFor matched an unrelated link")
+	}
+}
+
+func TestPlanValidate(t *testing.T) {
+	for name, p := range map[string]*Plan{
+		"bad endpoint":   NewPlan(0).DropOnLink(0, 9, 0, 0, 0.1),
+		"self link":      {Links: []LinkFault{{From: 2, To: 2}}},
+		"drop prob > 1":  NewPlan(0).DropOnLink(0, 1, 0, 0, 1.5),
+		"scale > 1":      NewPlan(0).DegradeLink(0, 1, 0, 0, 2, 0),
+		"neg serdes":     {Links: []LinkFault{{From: 0, To: 1, ExtraSerDes: -1}}},
+		"empty window":   NewPlan(0).DropOnLink(0, 1, 50, 50, 0.1),
+		"bad node":       NewPlan(0).FailNode(8, 0),
+		"negative cycle": NewPlan(0).FailNode(1, -3),
+	} {
+		if err := p.Validate(8); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	ok := NewPlan(7).DegradeLink(0, 1, 0, 100, 0.5, 2).DropOnLink(1, 2, 10, 0, 0.05).FailNode(3, 500)
+	if err := ok.Validate(8); err != nil {
+		t.Fatalf("valid plan rejected: %v", err)
+	}
+}
+
+func TestNodeFailuresSortedDedups(t *testing.T) {
+	p := NewPlan(0).FailNode(5, 300).FailNode(2, 100).FailNode(5, 50).FailNode(1, 100)
+	got := p.NodeFailuresSorted()
+	want := []NodeFault{{Node: 5, At: 50}, {Node: 1, At: 100}, {Node: 2, At: 100}}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	if by := p.FailedBy(100); len(by) != 3 || by[0] != 1 || by[1] != 2 || by[2] != 5 {
+		t.Fatalf("FailedBy(100) = %v", by)
+	}
+	if by := p.FailedBy(60); len(by) != 1 || by[0] != 5 {
+		t.Fatalf("FailedBy(60) = %v", by)
+	}
+}
+
+func TestLinkStateComposition(t *testing.T) {
+	faults := []LinkFault{
+		{BandwidthScale: 0.5, Start: 0, End: 0},
+		{BandwidthScale: 0.5, ExtraSerDes: 3, Start: 0, End: 0},
+		{DropProb: 0.1, Start: 0, End: 0},       // pure drop: no state change
+		{BandwidthScale: 0.1, Start: 100, End: 200}, // inactive at cycle 10
+	}
+	scale, extra := LinkState(faults, 10)
+	if math.Abs(scale-0.25) > 1e-12 {
+		t.Fatalf("scale = %v, want 0.25 (scales multiply)", scale)
+	}
+	if extra != 3 {
+		t.Fatalf("extra = %d, want 3", extra)
+	}
+	scale, _ = LinkState(faults, 150)
+	if math.Abs(scale-0.025) > 1e-12 {
+		t.Fatalf("scale = %v at cycle 150, want 0.025", scale)
+	}
+}
+
+func TestDropFlitDeterministicAndCalibrated(t *testing.T) {
+	faults := []LinkFault{{From: 0, To: 1, DropProb: 0.3}}
+	drops := 0
+	const trials = 20000
+	for i := 0; i < trials; i++ {
+		a := DropFlit(42, faults, 0, 1, int64(i), i%7)
+		b := DropFlit(42, faults, 0, 1, int64(i), i%7)
+		if a != b {
+			t.Fatal("DropFlit is not deterministic")
+		}
+		if a {
+			drops++
+		}
+	}
+	rate := float64(drops) / trials
+	if rate < 0.27 || rate > 0.33 {
+		t.Fatalf("empirical drop rate %v far from 0.3", rate)
+	}
+	// A different seed decides differently somewhere.
+	diff := false
+	for i := 0; i < 100 && !diff; i++ {
+		diff = DropFlit(42, faults, 0, 1, int64(i), 0) != DropFlit(43, faults, 0, 1, int64(i), 0)
+	}
+	if !diff {
+		t.Fatal("seed does not influence drop decisions")
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	for i := uint64(0); i < 10000; i++ {
+		u := Uniform(9, i, i*i)
+		if u < 0 || u >= 1 {
+			t.Fatalf("Uniform out of [0,1): %v", u)
+		}
+	}
+}

@@ -1,0 +1,90 @@
+package mpt
+
+import (
+	"fmt"
+
+	"mptwino/internal/winograd"
+)
+
+// Checkpoint captures the engine's full Winograd-domain weight state. The
+// weights are the only training state that must survive a module failure:
+// activations and gradients are per-iteration, and the forward caches are
+// rebuilt by the next Fprop. The copy is deep, so later training does not
+// disturb it.
+func (e *Engine) Checkpoint() *winograd.Weights { return e.W.Clone() }
+
+// Restore replaces the engine's weights with a checkpoint and invalidates
+// the forward caches (an UpdateGrad before the next Fprop errors instead
+// of silently mixing pre- and post-restore state).
+func (e *Engine) Restore(w *winograd.Weights) {
+	e.W = w.Clone()
+	e.lastX = nil
+}
+
+// Reconfigure re-wires the engine to a new (Ng, Nc) grid — the recovery
+// step after module failures shrink the worker pool. The full Winograd
+// weight set is re-sharded by rebuilding each group's element ownership,
+// and the batch re-shards automatically on the next pass (shardBounds
+// derives from Cfg.Nc). Weights are untouched, so training resumed from a
+// checkpoint is numerically identical to a fault-free run at the new grid.
+func (e *Engine) Reconfigure(ng, nc int) error {
+	if ng < 1 || nc < 1 {
+		return fmt.Errorf("mpt: Ng=%d Nc=%d must be >= 1", ng, nc)
+	}
+	if t2 := e.Tr.T * e.Tr.T; ng > t2 {
+		return fmt.Errorf("mpt: %d groups exceed %d tile elements", ng, t2)
+	}
+	e.Cfg.Ng, e.Cfg.Nc = ng, nc
+	e.groupEls = e.groupEls[:0]
+	for g := 0; g < ng; g++ {
+		e.groupEls = append(e.groupEls, winograd.GroupElements(e.Tr.T, ng, g))
+	}
+	e.lastX = nil
+	return nil
+}
+
+// NetCheckpoint is a deep copy of every layer's Winograd-domain weights.
+type NetCheckpoint struct {
+	weights []*winograd.Weights
+}
+
+// Checkpoint snapshots the whole network's weights.
+func (n *Net) Checkpoint() *NetCheckpoint {
+	cp := &NetCheckpoint{}
+	for _, e := range n.Engines {
+		cp.weights = append(cp.weights, e.Checkpoint())
+	}
+	return cp
+}
+
+// Restore loads a checkpoint taken from a network of the same shape and
+// drops any in-flight forward state.
+func (n *Net) Restore(cp *NetCheckpoint) error {
+	if len(cp.weights) != len(n.Engines) {
+		return fmt.Errorf("mpt: checkpoint has %d layers, network has %d",
+			len(cp.weights), len(n.Engines))
+	}
+	for i, e := range n.Engines {
+		e.Restore(cp.weights[i])
+	}
+	n.masks = n.masks[:0]
+	return nil
+}
+
+// Reconfigure re-wires every layer to a new (Ng, Nc) grid. On failure the
+// network is left unchanged (the first engine is validated before any is
+// mutated; all engines share one transform and config, so one check
+// covers all).
+func (n *Net) Reconfigure(ng, nc int) error {
+	if len(n.Engines) == 0 {
+		return fmt.Errorf("mpt: empty network")
+	}
+	for _, e := range n.Engines {
+		if err := e.Reconfigure(ng, nc); err != nil {
+			return err
+		}
+	}
+	n.Cfg.Ng, n.Cfg.Nc = ng, nc
+	n.masks = n.masks[:0]
+	return nil
+}

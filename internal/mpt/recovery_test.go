@@ -1,0 +1,206 @@
+package mpt
+
+import (
+	"testing"
+
+	"mptwino/internal/comm"
+	"mptwino/internal/conv"
+	"mptwino/internal/tensor"
+	"mptwino/internal/winograd"
+)
+
+// recoveryNet builds a two-layer test network at the given grid.
+func recoveryNet(t *testing.T, ng, nc int, seed uint64) *Net {
+	t.Helper()
+	params := []conv.Params{
+		{In: 3, Out: 4, K: 3, Pad: 1, H: 8, W: 8},
+		{In: 4, Out: 2, K: 3, Pad: 1, H: 8, W: 8},
+	}
+	n, err := NewNet(winograd.F2x2_3x3, params, Config{Ng: ng, Nc: nc}, tensor.NewRNG(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestCheckpointRestoreRoundTrip(t *testing.T) {
+	e, err := NewEngine(winograd.F2x2_3x3, testP, Config{Ng: 4, Nc: 2}, tensor.NewRNG(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := e.Checkpoint()
+
+	// Perturb the weights, then restore.
+	dw := e.Weights().Clone()
+	e.Step(0.5, dw)
+	if diff := maxWeightsDiff(e.Weights(), cp); diff == 0 {
+		t.Fatal("Step did not change weights; perturbation is vacuous")
+	}
+	e.Restore(cp)
+	if diff := maxWeightsDiff(e.Weights(), cp); diff != 0 {
+		t.Fatalf("restored weights differ from checkpoint by %v", diff)
+	}
+
+	// The checkpoint must be insulated from later training.
+	before := cp.Clone()
+	e.Step(0.25, e.Weights().Clone())
+	if diff := maxWeightsDiff(cp, before); diff != 0 {
+		t.Fatalf("training mutated the checkpoint by %v", diff)
+	}
+
+	// Restore invalidates the forward cache: UpdateGrad must refuse.
+	x := tensor.New(4, testP.In, testP.H, testP.W)
+	tensor.NewRNG(13).FillNormal(x, 0, 1)
+	if _, err := e.Fprop(x); err != nil {
+		t.Fatal(err)
+	}
+	e.Restore(cp)
+	dy := tensor.New(4, testP.Out, testP.OutH(), testP.OutW())
+	if _, err := e.UpdateGrad(dy); err == nil {
+		t.Fatal("UpdateGrad after Restore used a stale forward cache")
+	}
+}
+
+func TestReconfigureValidation(t *testing.T) {
+	e, err := NewEngine(winograd.F2x2_3x3, testP, Config{Ng: 4, Nc: 4}, tensor.NewRNG(17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Reconfigure(0, 4); err == nil {
+		t.Fatal("Ng=0 accepted")
+	}
+	if err := e.Reconfigure(17, 1); err == nil {
+		t.Fatal("Ng > T^2 accepted")
+	}
+	if err := e.Reconfigure(4, 0); err == nil {
+		t.Fatal("Nc=0 accepted")
+	}
+	if e.Cfg.Ng != 4 || e.Cfg.Nc != 4 {
+		t.Fatalf("failed Reconfigure mutated config to (%d,%d)", e.Cfg.Ng, e.Cfg.Nc)
+	}
+}
+
+// TestReconfigureExactness: a reconfigured engine computes the same forward
+// pass as the single-worker reference — re-sharding moves ownership, not
+// values.
+func TestReconfigureExactness(t *testing.T) {
+	e, err := NewEngine(winograd.F2x2_3x3, testP, Config{Ng: 16, Nc: 4}, tensor.NewRNG(19))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := refLayer(t, e)
+	x := tensor.New(8, testP.In, testP.H, testP.W)
+	tensor.NewRNG(23).FillNormal(x, 0, 1)
+	want := ref.Fprop(x)
+	for _, grid := range [][2]int{{4, 3}, {1, 8}, {8, 2}} {
+		if err := e.Reconfigure(grid[0], grid[1]); err != nil {
+			t.Fatal(err)
+		}
+		got, err := e.Fprop(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := got.MaxAbsDiff(want); d > 1e-5 {
+			t.Fatalf("grid %v: fprop diverges %v after reconfigure", grid, d)
+		}
+	}
+}
+
+// TestFailureRecoveryLossTrajectory is the end-to-end recovery equivalence
+// proof: train at (4,4), checkpoint, lose a module (16 → 15 workers),
+// re-solve the grid over the survivor menu, restore, and keep training.
+// The post-failure loss trajectory must be numerically identical to a
+// fault-free network that trained at the surviving configuration from the
+// same checkpoint.
+func TestFailureRecoveryLossTrajectory(t *testing.T) {
+	const (
+		batch = 16
+		lr    = 1e-4
+		steps = 3
+	)
+	rng := tensor.NewRNG(29)
+	x := tensor.New(batch, 3, 8, 8)
+	rng.FillNormal(x, 0, 1)
+	target := tensor.New(batch, 2, 8, 8)
+	rng.FillNormal(target, 0, 1)
+
+	// Healthy training at (4,4) = 16 workers.
+	n := recoveryNet(t, 4, 4, 31)
+	for i := 0; i < steps; i++ {
+		if _, err := n.TrainStepMSE(x, target, lr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cp := n.Checkpoint()
+
+	// One module fails: 15 survivors. The survivor menu offers (4,3) and
+	// (1,15); take its leading (largest-Ng) entry.
+	menu := comm.SurvivorConfigs(15)
+	if len(menu) == 0 {
+		t.Fatal("empty survivor menu for 15 workers")
+	}
+	grid := menu[0]
+	if grid.Ng != 4 || grid.Nc != 3 {
+		t.Fatalf("survivor menu for 15 leads with (%d,%d), want (4,3)", grid.Ng, grid.Nc)
+	}
+	if err := n.Reconfigure(grid.Ng, grid.Nc); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Restore(cp); err != nil {
+		t.Fatal(err)
+	}
+	recovered := make([]float64, steps)
+	for i := range recovered {
+		loss, err := n.TrainStepMSE(x, target, lr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		recovered[i] = loss
+	}
+
+	// Fault-free reference: a fresh network wired at (4,3) from the start,
+	// loaded from the same checkpoint.
+	ref := recoveryNet(t, grid.Ng, grid.Nc, 999) // init weights are overwritten by Restore
+	if err := ref.Restore(cp); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < steps; i++ {
+		loss, err := ref.TrainStepMSE(x, target, lr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if loss != recovered[i] {
+			t.Fatalf("step %d: recovered loss %v != fault-free loss %v", i, recovered[i], loss)
+		}
+	}
+	if recovered[steps-1] >= recovered[0] {
+		t.Fatalf("loss not decreasing after recovery: %v", recovered)
+	}
+}
+
+func TestNetRestoreShapeMismatch(t *testing.T) {
+	n := recoveryNet(t, 4, 4, 37)
+	cp := n.Checkpoint()
+	cp.weights = cp.weights[:1]
+	if err := n.Restore(cp); err == nil {
+		t.Fatal("short checkpoint accepted")
+	}
+}
+
+// maxWeightsDiff returns the max abs elementwise difference of two weight
+// sets.
+func maxWeightsDiff(a, b *winograd.Weights) float64 {
+	var worst float64
+	for el := range a.El {
+		for i, v := range a.El[el].Data {
+			d := float64(v - b.El[el].Data[i])
+			if d < 0 {
+				d = -d
+			}
+			if d > worst {
+				worst = d
+			}
+		}
+	}
+	return worst
+}

@@ -1,5 +1,15 @@
 package noc
 
+// mustValidConfig asserts the network's config at driver start — drivers
+// are the entry point for externally constructed traffic, and a bad config
+// (zero flit size, zero buffers) would otherwise livelock deep inside the
+// cycle loop.
+func mustValidConfig(n *Network) {
+	if err := n.Cfg.Validate(); err != nil {
+		panic(err)
+	}
+}
+
 // RingCollective drives a pipelined ring all-reduce (reduce-scatter +
 // all-gather) over an ordered member list, the collective the paper's
 // communication units implement in hardware (Section VI-C): the payload is
@@ -17,6 +27,7 @@ type RingCollective struct {
 
 // Start injects hop 0 of every chunk.
 func (r *RingCollective) Start(n *Network) {
+	mustValidConfig(n)
 	nm := len(r.Members)
 	if nm <= 1 || r.Bytes <= 0 {
 		r.remaining = 0
@@ -77,6 +88,7 @@ type AllToAll struct {
 
 // Start injects the full n·(n−1) message set.
 func (a *AllToAll) Start(n *Network) {
+	mustValidConfig(n)
 	if a.Bytes <= 0 {
 		return
 	}
@@ -109,6 +121,7 @@ type Hotspot struct {
 
 // Start injects one message per non-destination member.
 func (h *Hotspot) Start(n *Network) {
+	mustValidConfig(n)
 	if h.Bytes <= 0 {
 		return
 	}
@@ -146,6 +159,7 @@ func NewMultiDriver(ds ...Driver) *MultiDriver {
 // Start starts every sub-driver, tracking message ownership via inject
 // interposition.
 func (md *MultiDriver) Start(n *Network) {
+	mustValidConfig(n)
 	for _, d := range md.Drivers {
 		before := len(n.messages)
 		d.Start(n)

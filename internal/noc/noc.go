@@ -15,6 +15,7 @@ package noc
 import (
 	"fmt"
 
+	"mptwino/internal/fault"
 	"mptwino/internal/topology"
 )
 
@@ -34,6 +35,14 @@ type Config struct {
 	RandomFirstHop bool
 	// Seed drives the first-hop randomization (deterministic per seed).
 	Seed uint64
+
+	// RetryTimeout is the number of cycles the retransmit protocol waits
+	// after a flit drop before re-sending a message's missing bytes from
+	// the source. MaxRetries bounds how many retransmissions one message
+	// may consume before it is declared lost (and the run errors out).
+	// Both only matter under an attached fault plan.
+	RetryTimeout int64
+	MaxRetries   int
 }
 
 // DefaultConfig returns the Table III configuration.
@@ -44,7 +53,37 @@ func DefaultConfig() Config {
 		HostExtra:    5,
 		BufferFlits:  16,
 		ClockHz:      1e9,
+		RetryTimeout: 512,
+		MaxRetries:   8,
 	}
+}
+
+// Validate rejects configurations that would divide by zero or livelock the
+// simulator (zero flit size stalls every transfer; zero buffering blocks
+// every hop; a non-positive clock breaks all time conversion).
+func (c Config) Validate() error {
+	if c.FlitBytes <= 0 {
+		return fmt.Errorf("noc: FlitBytes must be positive, got %d (flits would carry no payload)", c.FlitBytes)
+	}
+	if c.BufferFlits <= 0 {
+		return fmt.Errorf("noc: BufferFlits must be positive, got %d (every hop would block forever)", c.BufferFlits)
+	}
+	if c.ClockHz <= 0 {
+		return fmt.Errorf("noc: ClockHz must be positive, got %v", c.ClockHz)
+	}
+	if c.SerDesCycles < 0 {
+		return fmt.Errorf("noc: SerDesCycles must be non-negative, got %d", c.SerDesCycles)
+	}
+	if c.HostExtra < 0 {
+		return fmt.Errorf("noc: HostExtra must be non-negative, got %d", c.HostExtra)
+	}
+	if c.RetryTimeout < 0 {
+		return fmt.Errorf("noc: RetryTimeout must be non-negative, got %d", c.RetryTimeout)
+	}
+	if c.MaxRetries < 0 {
+		return fmt.Errorf("noc: MaxRetries must be non-negative, got %d", c.MaxRetries)
+	}
+	return nil
 }
 
 // Message is one network transfer between two workers.
@@ -56,10 +95,21 @@ type Message struct {
 	// Tag carries driver-private state (e.g. chunk index / step).
 	Tag int
 
+	// Retries counts how many timeout-driven retransmissions this message
+	// consumed recovering from dropped flits.
+	Retries int
+
 	InjectedAt    int64
 	DeliveredAt   int64
 	receivedBytes int
 	delivered     bool
+
+	// retransmit-protocol state
+	droppedBytes int   // bytes lost to flit drops, awaiting retransmission
+	retryAt      int64 // cycle at which the retransmit timer fires
+	queuedRetry  bool  // already on the retry queue
+	lost         bool
+	lossWhy      string
 }
 
 type flit struct {
@@ -87,6 +137,11 @@ type link struct {
 	pipeline    []inFlight
 	// stats
 	busyFlits int64
+
+	// fault state
+	faults []fault.LinkFault // active plan entries for this link
+	credit float64           // fractional-bandwidth accumulator while degraded
+	dead   bool              // endpoint module failed; link is gone
 }
 
 // Network is the simulation instance.
@@ -110,13 +165,28 @@ type Network struct {
 	pendingID int
 	rngState  uint64
 
+	// fault machinery
+	plan            *fault.Plan
+	failed          []bool // per-node permanent-failure flag
+	ownsGraph       bool   // G was cloned before mutating it
+	pendingFailures []fault.NodeFault
+	retryQ          []*Message // messages with dropped bytes awaiting timeout
+	lost            []*Message // messages declared undeliverable
+
 	// Stats
 	BytesByClass map[topology.LinkClass]int64
 	FlitHops     int64
+	DroppedFlits int64
+	Retransmits  int64
 }
 
-// New builds a network simulator over graph g.
+// New builds a network simulator over graph g. It panics on an invalid
+// config (see Config.Validate) — a zero flit size or buffer capacity would
+// otherwise livelock the simulator far from the cause.
 func New(g *topology.Graph, cfg Config) *Network {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
 	n := &Network{
 		Cfg:          cfg,
 		G:            g,
@@ -153,7 +223,196 @@ func New(g *topology.Graph, cfg Config) *Network {
 	n.rr = make([]int, len(n.links))
 	n.injectQ = make([][]flit, len(n.links))
 	n.rngState = cfg.Seed ^ 0x632be59bd9b4e019
+	n.failed = make([]bool, g.N)
 	return n
+}
+
+// AttachFaults installs a deterministic fault plan: links cache their own
+// fault entries for per-cycle consultation, and scheduled module failures
+// are queued for execution at their cycle. Must be called before Run/Step.
+func (n *Network) AttachFaults(p *fault.Plan) error {
+	if err := p.Validate(n.G.N); err != nil {
+		return err
+	}
+	n.plan = p
+	for _, l := range n.links {
+		l.faults = p.LinkFaultsFor(l.from, l.to)
+	}
+	n.pendingFailures = p.NodeFailuresSorted()
+	return nil
+}
+
+// FailNode permanently removes module v from the fabric mid-simulation: its
+// links die, flits in its queues and on its links are dropped (messages
+// to/from v become lost; transit messages schedule a retransmission), the
+// topology loses the node, and routing tables are recomputed over the
+// survivors. Traffic stranded by a resulting partition is declared lost so
+// Run reports an error instead of deadlocking.
+func (n *Network) FailNode(v int) {
+	if v < 0 || v >= len(n.failed) || n.failed[v] {
+		return
+	}
+	n.failed[v] = true
+	// Work on a private copy of the topology the first time it mutates, so
+	// callers' graphs (shared with co-simulators and figures) stay pristine.
+	if !n.ownsGraph {
+		n.G = n.G.Clone()
+		n.ownsGraph = true
+	}
+	for li, l := range n.links {
+		if l.from != v && l.to != v {
+			continue
+		}
+		l.dead = true
+		for _, inf := range l.pipeline {
+			n.dropForFailure(inf.f, v)
+		}
+		l.pipeline = nil
+		for _, f := range n.injectQ[li] {
+			n.dropForFailure(f, v)
+		}
+		n.injectQ[li] = nil
+	}
+	for _, p := range n.inPorts[v] {
+		for _, f := range p.queue {
+			n.dropForFailure(f, v)
+		}
+		p.queue = nil
+	}
+	n.G.RemoveNode(v)
+	n.Routes = topology.BuildRoutes(n.G)
+	n.sweepUnroutable()
+}
+
+// dropForFailure handles one flit destroyed by module v's failure.
+func (n *Network) dropForFailure(f flit, v int) {
+	m := f.msg
+	if m.delivered || m.lost {
+		return
+	}
+	n.DroppedFlits++
+	if m.Src == v || m.Dst == v {
+		n.markLost(m, fmt.Sprintf("module %d failed", v))
+		return
+	}
+	n.scheduleRetry(m, f.bytes)
+}
+
+// sweepUnroutable removes flits whose current node no longer has a route to
+// their destination (the fabric partitioned), declaring their messages
+// lost. Without the sweep such flits would head-of-line block a queue
+// forever and the run would only fail at maxCycles.
+func (n *Network) sweepUnroutable() {
+	drain := func(q []flit, at int) []flit {
+		kept := q[:0]
+		for _, f := range q {
+			if !f.msg.delivered && !f.msg.lost && n.Routes.NextHop(at, f.msg.Dst) < 0 && f.msg.Dst != at {
+				n.markLost(f.msg, fmt.Sprintf("no route %d->%d after failure", at, f.msg.Dst))
+				continue
+			}
+			kept = append(kept, f)
+		}
+		return kept
+	}
+	for v, ports := range n.inPorts {
+		for _, p := range ports {
+			p.queue = drain(p.queue, v)
+		}
+	}
+	for li, l := range n.links {
+		if l.dead {
+			continue
+		}
+		kept := l.pipeline[:0]
+		for _, inf := range l.pipeline {
+			if !inf.f.msg.delivered && !inf.f.msg.lost && n.Routes.NextHop(l.to, inf.f.msg.Dst) < 0 && inf.f.msg.Dst != l.to {
+				n.markLost(inf.f.msg, fmt.Sprintf("no route %d->%d after failure", l.to, inf.f.msg.Dst))
+				continue
+			}
+			kept = append(kept, inf)
+		}
+		l.pipeline = kept
+		// Injection queues are committed to l.to; check the route onward.
+		n.injectQ[li] = drain(n.injectQ[li], l.to)
+	}
+}
+
+// scheduleRetry records dropped bytes of a message and arms (or re-arms)
+// its retransmit timer.
+func (n *Network) scheduleRetry(m *Message, bytes int) {
+	if m.lost || m.delivered {
+		return
+	}
+	m.droppedBytes += bytes
+	m.retryAt = n.now + n.Cfg.RetryTimeout
+	if !m.queuedRetry {
+		m.queuedRetry = true
+		n.retryQ = append(n.retryQ, m)
+	}
+}
+
+// markLost declares a message undeliverable; Run surfaces this as an error.
+func (n *Network) markLost(m *Message, why string) {
+	if m.lost {
+		return
+	}
+	m.lost = true
+	m.lossWhy = why
+	m.droppedBytes = 0
+	n.lost = append(n.lost, m)
+}
+
+// processRetries fires due retransmit timers: a message with dropped bytes
+// re-injects exactly the missing payload from its source, consuming one
+// retry; exhausted messages are declared lost.
+func (n *Network) processRetries() {
+	if len(n.retryQ) == 0 {
+		return
+	}
+	kept := n.retryQ[:0]
+	for _, m := range n.retryQ {
+		if m.lost || m.delivered {
+			m.queuedRetry = false
+			continue
+		}
+		if n.now < m.retryAt {
+			kept = append(kept, m)
+			continue
+		}
+		m.queuedRetry = false
+		if m.Retries >= n.Cfg.MaxRetries {
+			n.markLost(m, fmt.Sprintf("retries exhausted (%d)", m.Retries))
+			continue
+		}
+		if n.failed[m.Src] {
+			n.markLost(m, fmt.Sprintf("source module %d failed", m.Src))
+			continue
+		}
+		hop := n.firstHop(m.Src, m.Dst)
+		if hop < 0 {
+			n.markLost(m, fmt.Sprintf("no route %d->%d for retransmission", m.Src, m.Dst))
+			continue
+		}
+		m.Retries++
+		n.Retransmits++
+		n.enqueueFlits(m, m.droppedBytes, hop)
+		m.droppedBytes = 0
+	}
+	n.retryQ = kept
+}
+
+// enqueueFlits splits bytes of message m into flits on the injection queue
+// of the link toward hop.
+func (n *Network) enqueueFlits(m *Message, bytes, hop int) {
+	li := n.linkIdx[[2]int{m.Src, hop}]
+	for bytes > 0 {
+		b := n.Cfg.FlitBytes
+		if bytes < b {
+			b = bytes
+		}
+		n.injectQ[li] = append(n.injectQ[li], flit{msg: m, bytes: b})
+		bytes -= b
+	}
 }
 
 // rand32 advances the network's deterministic RNG (SplitMix64).
@@ -206,20 +465,19 @@ func (n *Network) Inject(m *Message) *Message {
 		m.DeliveredAt = n.now
 		return m
 	}
+	// Failed endpoints and partitions mark the message lost instead of
+	// panicking: Run then reports a descriptive error (the upper layers
+	// react by re-clustering), and the simulator never deadlocks.
+	if n.failed[m.Src] || n.failed[m.Dst] {
+		n.markLost(m, fmt.Sprintf("endpoint failed (%d->%d)", m.Src, m.Dst))
+		return m
+	}
 	firstHop := n.firstHop(m.Src, m.Dst)
 	if firstHop < 0 {
-		panic(fmt.Sprintf("noc: no route %d->%d", m.Src, m.Dst))
+		n.markLost(m, fmt.Sprintf("no route %d->%d (network partitioned)", m.Src, m.Dst))
+		return m
 	}
-	li := n.linkIdx[[2]int{m.Src, firstHop}]
-	remaining := m.Bytes
-	for remaining > 0 {
-		b := n.Cfg.FlitBytes
-		if remaining < b {
-			b = remaining
-		}
-		n.injectQ[li] = append(n.injectQ[li], flit{msg: m, bytes: b})
-		remaining -= b
-	}
+	n.enqueueFlits(m, m.Bytes, firstHop)
 	return m
 }
 
@@ -242,6 +500,13 @@ type Stats struct {
 	FlitHops     int64
 	BytesByClass map[topology.LinkClass]int64
 
+	// Fault-recovery counters (zero on a healthy fabric): flits destroyed
+	// by drops or module failures, timeout-driven retransmissions, and the
+	// largest per-message retry count observed.
+	DroppedFlits  int64
+	Retransmits   int64
+	MaxMsgRetries int
+
 	// MaxLinkUtil / MeanLinkUtil are busy-flit fractions of link capacity
 	// over the whole run (links that never carried traffic are excluded
 	// from the mean — they were powered off per the paper's energy
@@ -255,10 +520,16 @@ func (s Stats) Duration(clockHz float64) float64 { return float64(s.Cycles) / cl
 
 // Run drives the simulation until the driver is done and all traffic has
 // drained, or maxCycles elapses (an error, indicating deadlock or
-// overload).
+// overload). A message that becomes undeliverable — destination module
+// failed, retransmit budget exhausted, or fabric partitioned — aborts the
+// run immediately with a descriptive error rather than spinning to
+// maxCycles.
 func (n *Network) Run(d Driver, maxCycles int64) (Stats, error) {
 	d.Start(n)
 	for {
+		if err := n.LostErr(); err != nil {
+			return Stats{}, err
+		}
 		if n.idle() && d.Done() {
 			break
 		}
@@ -270,6 +541,18 @@ func (n *Network) Run(d Driver, maxCycles int64) (Stats, error) {
 	return n.stats(), nil
 }
 
+// LostErr returns a descriptive error if any message has been declared
+// undeliverable, or nil. Co-simulators driving the network via Step should
+// poll it each cycle.
+func (n *Network) LostErr() error {
+	if len(n.lost) == 0 {
+		return nil
+	}
+	m := n.lost[0]
+	return fmt.Errorf("noc: %d message(s) lost; first: %d->%d (%d bytes): %s",
+		len(n.lost), m.Src, m.Dst, m.Bytes, m.lossWhy)
+}
+
 // Step advances the simulation by one cycle under the driver — the
 // building block for co-simulators that interleave network transport with
 // their own per-cycle state machines (internal/cosim).
@@ -278,8 +561,12 @@ func (n *Network) Step(d Driver) { n.step(d) }
 // Idle reports whether no flit is queued or in flight.
 func (n *Network) Idle() bool { return n.idle() }
 
-// idle reports whether no flit is queued or in flight.
+// idle reports whether no flit is queued or in flight and no retransmission
+// is pending.
 func (n *Network) idle() bool {
+	if len(n.retryQ) > 0 {
+		return false
+	}
 	for _, q := range n.injectQ {
 		if len(q) > 0 {
 			return false
@@ -300,13 +587,23 @@ func (n *Network) idle() bool {
 	return true
 }
 
-// step advances one cycle: link arrivals, ejection, then output
-// arbitration and transmission.
+// step advances one cycle: scheduled fault events, retransmit timers, link
+// arrivals, ejection, then output arbitration and transmission.
 func (n *Network) step(d Driver) {
 	n.now++
 
+	// 0. Fire scheduled module failures and due retransmit timers.
+	for len(n.pendingFailures) > 0 && n.pendingFailures[0].At <= n.now {
+		n.FailNode(n.pendingFailures[0].Node)
+		n.pendingFailures = n.pendingFailures[1:]
+	}
+	n.processRetries()
+
 	// 1. Deliver pipeline arrivals into downstream input queues (if space).
 	for _, l := range n.links {
+		if l.dead {
+			continue
+		}
 		kept := l.pipeline[:0]
 		p := n.inPorts[l.to][l.from]
 		for _, inf := range l.pipeline {
@@ -336,14 +633,37 @@ func (n *Network) step(d Driver) {
 
 	// 3. Transmit: every link moves up to flitsPerCyc flits whose route
 	// passes through it, arbitrating round-robin across the node's input
-	// ports and the link's own injection queue.
+	// ports and the link's own injection queue. Links consult the fault
+	// plan each cycle: degraded bandwidth throttles the budget through a
+	// fractional-credit accumulator, extra SerDes stretches the pipeline,
+	// and drop faults destroy flits in transit (scheduling retransmission).
 	for li, l := range n.links {
+		if l.dead {
+			continue
+		}
 		budget := l.flitsPerCyc
+		latency := l.latency
+		if len(l.faults) > 0 {
+			scale, extra := fault.LinkState(l.faults, n.now)
+			latency += int64(extra)
+			if scale <= 0 {
+				continue
+			}
+			if scale < 1 {
+				l.credit += scale * float64(l.flitsPerCyc)
+				budget = int(l.credit)
+				if budget < 1 {
+					continue // sub-flit credit accumulates for later cycles
+				}
+				l.credit -= float64(budget)
+			}
+		}
 		sources := n.arbSources(l.from, li)
 		ns := len(sources)
 		if ns == 0 {
 			continue
 		}
+		sent := 0
 		start := n.rr[li] % ns
 		for s := 0; s < ns && budget > 0; s++ {
 			src := sources[(start+s)%ns]
@@ -356,11 +676,21 @@ func (n *Network) step(d Driver) {
 					break // head flit routes elsewhere; try next source
 				}
 				*src.q = (*src.q)[1:]
-				l.pipeline = append(l.pipeline, inFlight{f: f, arriveAt: n.now + l.latency})
 				l.busyFlits++
+				budget--
+				if len(l.faults) > 0 && n.plan != nil &&
+					fault.DropFlit(n.plan.Seed, l.faults, l.from, l.to, n.now, sent) {
+					// Corrupted in transit: the slot is consumed but the
+					// flit never arrives; the source retransmits on timeout.
+					n.DroppedFlits++
+					n.scheduleRetry(f.msg, f.bytes)
+					sent++
+					continue
+				}
+				l.pipeline = append(l.pipeline, inFlight{f: f, arriveAt: n.now + latency})
 				n.FlitHops++
 				n.BytesByClass[l.class] += int64(f.bytes)
-				budget--
+				sent++
 			}
 		}
 		n.rr[li] = (start + 1) % ns
@@ -404,6 +734,8 @@ func (n *Network) stats() Stats {
 		Messages:     len(n.messages),
 		FlitHops:     n.FlitHops,
 		BytesByClass: n.BytesByClass,
+		DroppedFlits: n.DroppedFlits,
+		Retransmits:  n.Retransmits,
 	}
 	var totalLat int64
 	for _, m := range n.messages {
@@ -412,6 +744,9 @@ func (n *Network) stats() Stats {
 		totalLat += lat
 		if lat > s.MaxLatency {
 			s.MaxLatency = lat
+		}
+		if m.Retries > s.MaxMsgRetries {
+			s.MaxMsgRetries = m.Retries
 		}
 	}
 	if len(n.messages) > 0 {

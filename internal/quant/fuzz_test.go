@@ -1,0 +1,91 @@
+package quant
+
+import (
+	"math"
+	"testing"
+
+	"mptwino/internal/tensor"
+	"mptwino/internal/winograd"
+)
+
+// FuzzPredictorNeverUnderestimates fuzzes the activation predictor's
+// safety invariant (Section V-A): for every neuron, estimate + maxErr must
+// be an upper bound on the true inverse-transformed value, so a neuron
+// predicted non-activated (est + maxErr < 0) is guaranteed non-activated —
+// no false negatives, which is what keeps FpropReLU bit-exact under
+// prediction. Both the 2-D and 1-D predictors must satisfy it for
+// arbitrary Winograd-domain tiles and quantizer calibrations.
+func FuzzPredictorNeverUnderestimates(f *testing.F) {
+	f.Add(float32(0.5), float32(-1.2), float32(2.0), float32(0.1),
+		float32(-0.3), float32(0.7), float32(1.5), float32(-2.2),
+		float32(0.0), float32(3.1), float32(-0.01), float32(0.99),
+		float32(-1.5), float32(0.25), float32(-0.75), float32(1.1),
+		float32(1.0))
+	f.Add(float32(-4), float32(-4), float32(-4), float32(-4),
+		float32(-4), float32(-4), float32(-4), float32(-4),
+		float32(-4), float32(-4), float32(-4), float32(-4),
+		float32(-4), float32(-4), float32(-4), float32(-4),
+		float32(0.5))
+	f.Add(float32(100), float32(-100), float32(0), float32(1e-6),
+		float32(-1e-6), float32(50), float32(-50), float32(0.5),
+		float32(12), float32(-7), float32(3), float32(-3),
+		float32(8), float32(-8), float32(0.1), float32(-0.1),
+		float32(4))
+
+	tr := winograd.F2x2_3x3 // T=4: 16 tile elements
+
+	f.Fuzz(func(t *testing.T,
+		v0, v1, v2, v3, v4, v5, v6, v7, v8, v9, v10, v11, v12, v13, v14, v15,
+		sigma float32) {
+		vals := []float32{v0, v1, v2, v3, v4, v5, v6, v7, v8, v9, v10, v11, v12, v13, v14, v15}
+		for _, v := range vals {
+			if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) || math.Abs(float64(v)) > 1e12 {
+				t.Skip("degenerate tile value")
+			}
+		}
+		if math.IsNaN(float64(sigma)) || math.IsInf(float64(sigma), 0) {
+			t.Skip("degenerate sigma")
+		}
+		// Fold sigma into a sane calibration range; the invariant must hold
+		// for any positive step, well- or badly-calibrated.
+		s := math.Abs(float64(sigma))
+		if s < 1e-6 {
+			s = 1e-6
+		}
+		if s > 1e6 {
+			s = 1e6
+		}
+
+		y := tensor.NewMat(tr.T, tr.T)
+		copy(y.Data, vals)
+		truth := tr.OutputFromWinograd(y)
+
+		q := MustQuantizer(4, 6, float32(s))
+		p := NewPredictor(tr, q)
+
+		check := func(name string, pr *Prediction) {
+			if pr.Overflow {
+				// Overflowed tiles are treated as activated; no bound claimed.
+				return
+			}
+			for i, est := range pr.Est.Data {
+				bound := float64(est) + float64(pr.MaxErr.Data[i])
+				tv := float64(truth.Data[i])
+				// Allow float32 rounding slack proportional to magnitude.
+				eps := 1e-3 * math.Max(1, math.Abs(tv))
+				if bound < tv-eps {
+					t.Fatalf("%s: neuron %d bound %v underestimates true value %v (tile %v, sigma %v)",
+						name, i, bound, tv, vals, s)
+				}
+			}
+			// The operational consequence: predicted-non-activated tiles are
+			// truly non-activated.
+			if pr.NonActivated() && !TrueNonActivated(tr, y) {
+				t.Fatalf("%s: false negative — tile predicted non-activated but activates (tile %v, sigma %v)",
+					name, vals, s)
+			}
+		}
+		check("Predict2D", p.Predict2D(y))
+		check("Predict1D", p.Predict1D(y))
+	})
+}

@@ -86,6 +86,13 @@ type System struct {
 	// SerDesSec is the per-hop link latency (5 ns).
 	SerDesSec float64
 
+	// Menu overrides the dynamic-clustering configuration menu. When nil,
+	// the paper's divisible wirings comm.DefaultConfigs(Workers) apply;
+	// the fault-recovery path installs comm.SurvivorConfigs(survivors) so
+	// degraded worker counts still get (16, ⌊p/16⌋)-style grids that idle
+	// the remainder.
+	Menu []comm.ClusterConfig
+
 	// TileCongestion derates the tile-transfer bandwidth for switch-level
 	// effects the analytic model misses (head-of-line blocking, XY-route
 	// hotspots). Calibrated against the flit-level noc simulator: the
@@ -110,6 +117,15 @@ func DefaultSystem() System {
 		TileCongestion: 1.5,
 		ChunkBytes:     256,
 	}
+}
+
+// clusterMenu returns the (Ng, Nc) wirings dynamic clustering optimizes
+// over.
+func (s System) clusterMenu() []comm.ClusterConfig {
+	if s.Menu != nil {
+		return s.Menu
+	}
+	return comm.DefaultConfigs(s.Workers)
 }
 
 // ringBW returns the per-worker outgoing bandwidth available to weight

@@ -1,0 +1,110 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"mptwino/internal/comm"
+	"mptwino/internal/model"
+	"mptwino/internal/winograd"
+)
+
+// RecoveryResult reports a fault-recovery simulation: the same network and
+// system config run twice — once fully healthy and once after permanent
+// module failures — with the dynamic-clustering optimizer re-solving the
+// (Ng, Nc) grid over the survivor menu, plus the one-time cost of
+// switching wirings.
+type RecoveryResult struct {
+	Healthy  NetworkResult // all provisioned workers alive
+	Degraded NetworkResult // re-solved at the survivor count
+
+	Workers   int   // provisioned workers
+	Survivors int   // workers remaining after failures
+	Failed    []int // failed module IDs (deduplicated, ascending)
+
+	// ReconfigSec is the one-time recovery cost: reprogramming the
+	// circuit-switched memory-centric network plus streaming every
+	// surviving worker's new Winograd-domain weight shard from the host
+	// over one full-width host link.
+	ReconfigSec float64
+}
+
+// Slowdown returns the degraded iteration time relative to healthy
+// (>= 1 in practice; 0 when the healthy run is degenerate).
+func (r RecoveryResult) Slowdown() float64 {
+	if r.Healthy.IterationSec == 0 {
+		return 0
+	}
+	return r.Degraded.IterationSec / r.Healthy.IterationSec
+}
+
+const (
+	// hostLinkBW is one full-width host link, one direction (Table III:
+	// 16 lanes × 15 Gbps = 30 GB/s) — the path weight shards re-load over
+	// during reconfiguration.
+	hostLinkBW = 30e9
+
+	// rewireSec is the circuit-switch reprogramming latency charged once
+	// per recovery, covering the reconfigurable switch's route-table
+	// rewrite and link retraining.
+	rewireSec = 10e-6
+)
+
+// SimulateNetworkWithFailure simulates graceful degradation: workers in
+// failed are removed, the clustering menu is re-solved over the survivor
+// count (comm.SurvivorConfigs — e.g. 255 survivors offer (16,15), (4,63)
+// and (1,255)), and the network is re-simulated at the degraded grid.
+// Fixed-grid MPT configs fall back to the survivor menu's leading entry.
+func (s System) SimulateNetworkWithFailure(net model.Network, c SystemConfig, failed []int) (RecoveryResult, error) {
+	seen := make(map[int]bool)
+	var uniq []int
+	for _, f := range failed {
+		if f < 0 || f >= s.Workers {
+			return RecoveryResult{}, fmt.Errorf("sim: failed module %d out of range [0,%d)", f, s.Workers)
+		}
+		if !seen[f] {
+			seen[f] = true
+			uniq = append(uniq, f)
+		}
+	}
+	sort.Ints(uniq)
+	survivors := s.Workers - len(uniq)
+	if survivors < 1 {
+		return RecoveryResult{}, fmt.Errorf("sim: no surviving workers (%d failures of %d provisioned)", len(uniq), s.Workers)
+	}
+
+	res := RecoveryResult{Workers: s.Workers, Survivors: survivors, Failed: uniq}
+	res.Healthy = s.SimulateNetwork(net, c)
+
+	ds := s
+	ds.Workers = survivors
+	ds.Menu = comm.SurvivorConfigs(survivors)
+	res.Degraded = ds.SimulateNetwork(net, c)
+
+	res.ReconfigSec = rewireSec + s.reshardSeconds(net, c, res.Degraded)
+	return res, nil
+}
+
+// reshardSeconds prices the weight redistribution a wiring change implies:
+// each surviving worker streams its new per-layer weight shard (the
+// Winograd-domain W columns its group now owns, or the full spatial
+// replica for data-parallel layers) over the host link. Workers load in
+// parallel, so the time is the per-worker byte total at hostLinkBW.
+func (s System) reshardSeconds(net model.Network, c SystemConfig, degraded NetworkResult) float64 {
+	var perWorker int64
+	for i, l := range net.Layers {
+		ng := degraded.Layers[i].Ng
+		var shard int64
+		if c == DDp || ng <= 1 {
+			shard = comm.SpatialWeightBytes(l.P)
+		} else {
+			tr, err := winograd.ForKernel(l.P.K, ng)
+			if err != nil {
+				continue
+			}
+			shard = comm.WinogradWeightBytes(tr, l.P) / int64(ng)
+		}
+		perWorker += shard * int64(l.EffectiveRepeat())
+	}
+	return float64(perWorker) / hostLinkBW
+}

@@ -111,12 +111,20 @@ func (s System) strategyFor(c SystemConfig, p conv.Params, batch int) (comm.Stra
 		}
 		return comm.Strategy{Ng: 1, Nc: s.Workers, Winograd: true}, tr
 	default:
-		// Fixed (16,16) — or the largest Ng that p supports.
-		ng := 16
-		for s.Workers%ng != 0 {
-			ng /= 2
+		// Fixed (16,16) — or the largest Ng that p supports. Under a
+		// survivor menu (fault recovery at a non-divisible worker count)
+		// take the menu's leading entry, which keeps Ng=16 and idles the
+		// remainder of the grid.
+		var cfg comm.ClusterConfig
+		if s.Menu != nil {
+			cfg = s.Menu[0]
+		} else {
+			ng := 16
+			for s.Workers%ng != 0 {
+				ng /= 2
+			}
+			cfg = comm.ClusterConfig{Ng: ng, Nc: s.Workers / ng}
 		}
-		cfg := comm.ClusterConfig{Ng: ng, Nc: s.Workers / ng}
 		st, tr := comm.StrategyFor(cfg, p.K, c.usesPrediction(), s.Reductions)
 		return st, tr
 	}
@@ -145,7 +153,7 @@ func meanTileHops(ng int) float64 {
 func (s System) SimulateLayer(l model.Layer, batch int, c SystemConfig) LayerResult {
 	if c.usesDynamicClustering() {
 		var best LayerResult
-		for i, cfg := range comm.DefaultConfigs(s.Workers) {
+		for i, cfg := range s.clusterMenu() {
 			st, tr := comm.StrategyFor(cfg, l.P.K, c.usesPrediction(), s.Reductions)
 			r := s.simulateWithStrategy(l, batch, c, st, tr)
 			if i == 0 || r.TotalSec() < best.TotalSec() {
@@ -219,7 +227,11 @@ func (s System) directPhases(p conv.Params, batch int) (fwd, bwd phase) {
 // products, transforms on the vector unit, tile transfer (MPT only) and
 // the group-ring weight collective.
 func (s System) winogradPhases(p conv.Params, batch int, st comm.Strategy, tr *winograd.Transform, gatherScale float64) (fwd, bwd phase) {
-	pw := int64(s.Workers)
+	// Active workers in the grid. For healthy divisible configurations this
+	// equals s.Workers; survivor menus may idle a remainder (e.g. (16,15)
+	// uses 240 of 255 survivors), and idle workers contribute no compute or
+	// traffic.
+	pw := int64(st.Workers())
 	t2 := int64(tr.T) * int64(tr.T)
 	// Element load per worker. When Ng divides T² each group owns whole
 	// elements; otherwise the surplus elements' output channels are
@@ -304,7 +316,7 @@ func (s System) winogradPhases(p conv.Params, batch int, st comm.Strategy, tr *w
 // group-local and re-read once per systolic pass when it exceeds the
 // double-buffered SRAM.
 func (s System) winogradDRAMBytes(cst winograd.Cost, st comm.Strategy, tr *winograd.Transform, p conv.Params, rows int64) int64 {
-	pw := int64(s.Workers)
+	pw := int64(st.Workers())
 	b := (cst.TileBytes + cst.SpatialBytes) / pw
 	shard := cst.WeightBytes / int64(st.Ng)
 	if shard > 0 {

@@ -1,0 +1,97 @@
+package topology
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRemoveBidirectional(t *testing.T) {
+	g := Ring(6)
+	before := g.Edges()
+	g.RemoveBidirectional(0, 1)
+	if g.Edges() != before-2 {
+		t.Fatalf("edge count %d after removal, want %d", g.Edges(), before-2)
+	}
+	for _, e := range g.Adj[0] {
+		if e.To == 1 {
+			t.Fatal("edge 0->1 survived removal")
+		}
+	}
+	for _, e := range g.Adj[1] {
+		if e.To == 0 {
+			t.Fatal("edge 1->0 survived removal")
+		}
+	}
+	// Removing a non-edge is a no-op.
+	g.RemoveBidirectional(0, 3)
+	if g.Edges() != before-2 {
+		t.Fatal("removing a non-edge changed the graph")
+	}
+}
+
+func TestRemoveNodeIsolates(t *testing.T) {
+	g := FBFly2D(4)
+	v := 5
+	deg := g.Degree(v)
+	if deg == 0 {
+		t.Fatal("test node has no links")
+	}
+	before := g.Edges()
+	g.RemoveNode(v)
+	if g.Degree(v) != 0 {
+		t.Fatalf("failed node still has degree %d", g.Degree(v))
+	}
+	if g.Edges() != before-2*deg {
+		t.Fatalf("edges %d after removal, want %d", g.Edges(), before-2*deg)
+	}
+	for u := 0; u < g.N; u++ {
+		for _, e := range g.Adj[u] {
+			if e.To == v {
+				t.Fatalf("node %d still links to removed node", u)
+			}
+		}
+	}
+	if g.N != 16 {
+		t.Fatal("RemoveNode changed the index space")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	g := Hybrid(4, 4, false)
+	c := g.Clone()
+	c.RemoveNode(0)
+	if g.Degree(0) == 0 {
+		t.Fatal("mutating the clone changed the original")
+	}
+	if c.Degree(0) != 0 {
+		t.Fatal("clone did not take the mutation")
+	}
+}
+
+func TestCheckReachable(t *testing.T) {
+	g := Ring(8)
+	rt := BuildRoutes(g)
+	all := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	if err := rt.CheckReachable(all); err != nil {
+		t.Fatalf("healthy ring reported partitioned: %v", err)
+	}
+
+	// Cut the ring twice: {1..3} and {5..7} split from each other once 0
+	// and 4 are gone.
+	g.RemoveNode(0)
+	g.RemoveNode(4)
+	rt = BuildRoutes(g)
+	if err := rt.CheckReachable([]int{1, 2, 3}); err != nil {
+		t.Fatalf("intact segment reported partitioned: %v", err)
+	}
+	err := rt.CheckReachable([]int{1, 5})
+	if err == nil {
+		t.Fatal("partition not detected")
+	}
+	if !strings.Contains(err.Error(), "partitioned") {
+		t.Fatalf("error %q does not name the partition", err)
+	}
+	if err := rt.CheckReachable([]int{1, 99}); err == nil {
+		t.Fatal("out-of-range node accepted")
+	}
+}

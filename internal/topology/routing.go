@@ -1,5 +1,7 @@
 package topology
 
+import "fmt"
+
 // RouteTable holds minimal-routing next hops: Next[src][dst] is the
 // neighbor src forwards to on a minimal path toward dst (Table III:
 // "Routing: Minimal"). Ties break toward the lowest-numbered neighbor,
@@ -67,6 +69,30 @@ func (rt *RouteTable) NextHop(src, dst int) int { return int(rt.Next[src][dst]) 
 // HopCount returns the minimal hop count between src and dst (-1 when
 // unreachable).
 func (rt *RouteTable) HopCount(src, dst int) int { return int(rt.Dist[src][dst]) }
+
+// CheckReachable verifies that every ordered pair of the given nodes has a
+// route, returning a descriptive error for the first partitioned pair — the
+// check the fault-recovery path runs after removing failed modules, so an
+// unreachable destination surfaces as an error instead of a simulator
+// deadlock.
+func (rt *RouteTable) CheckReachable(nodes []int) error {
+	for _, v := range nodes {
+		if v < 0 || v >= rt.g.N {
+			return fmt.Errorf("topology: node %d outside graph of %d nodes", v, rt.g.N)
+		}
+	}
+	for _, src := range nodes {
+		for _, dst := range nodes {
+			if src == dst {
+				continue
+			}
+			if rt.Dist[src][dst] == -1 {
+				return fmt.Errorf("topology: no route %d->%d (network partitioned)", src, dst)
+			}
+		}
+	}
+	return nil
+}
 
 // Diameter returns the largest finite hop count in the network.
 func (rt *RouteTable) Diameter() int {

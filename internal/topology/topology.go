@@ -88,6 +88,45 @@ func (g *Graph) addDirected(a, b int, class LinkClass) {
 	g.Adj[a] = append(g.Adj[a], Edge{To: b, Class: class})
 }
 
+// RemoveBidirectional deletes the links a→b and b→a if present. Routing
+// tables built before a removal are stale; rebuild with BuildRoutes.
+func (g *Graph) RemoveBidirectional(a, b int) {
+	g.removeDirected(a, b)
+	g.removeDirected(b, a)
+}
+
+func (g *Graph) removeDirected(a, b int) {
+	adj := g.Adj[a]
+	for i, e := range adj {
+		if e.To == b {
+			g.Adj[a] = append(adj[:i], adj[i+1:]...)
+			return
+		}
+	}
+}
+
+// RemoveNode deletes every link touching v, isolating it from the fabric —
+// the topology-level effect of a permanent module failure. The node index
+// space is preserved so worker ids stay stable; v simply becomes an island
+// with degree 0. Routing tables must be rebuilt afterwards.
+func (g *Graph) RemoveNode(v int) {
+	for _, e := range g.Adj[v] {
+		g.removeDirected(e.To, v)
+	}
+	g.Adj[v] = nil
+}
+
+// Clone returns a deep copy of the graph, so fault scenarios can mutate a
+// working copy while the pristine wiring stays available for recovery
+// planning.
+func (g *Graph) Clone() *Graph {
+	out := NewGraph(g.N)
+	for v, adj := range g.Adj {
+		out.Adj[v] = append([]Edge(nil), adj...)
+	}
+	return out
+}
+
 // Degree returns node v's out-degree.
 func (g *Graph) Degree(v int) int { return len(g.Adj[v]) }
 

@@ -1,0 +1,88 @@
+package winograd
+
+import "testing"
+
+// TestGroupElementsPartition: for every accepted (T, Ng), the per-group
+// element sets must form a disjoint, complete partition of all T² tile
+// elements — the invariant that makes MPT's per-group dot products add up
+// to exactly the single-worker computation.
+func TestGroupElementsPartition(t *testing.T) {
+	cases := []struct {
+		t, ng int
+	}{
+		// F(2×2, 3×3): T=4, T²=16; every Ng up to T² is accepted,
+		// dividing or not.
+		{4, 1}, {4, 2}, {4, 3}, {4, 4}, {4, 5}, {4, 7}, {4, 8}, {4, 15}, {4, 16},
+		// F(4×4, 3×3): T=6, T²=36.
+		{6, 1}, {6, 2}, {6, 4}, {6, 6}, {6, 9}, {6, 12}, {6, 36},
+		// F(2, 3) 1-D-ish small tile.
+		{2, 1}, {2, 2}, {2, 3}, {2, 4},
+	}
+	for _, tc := range cases {
+		t2 := tc.t * tc.t
+		owner := make([]int, t2)
+		for i := range owner {
+			owner[i] = -1
+		}
+		total := 0
+		for g := 0; g < tc.ng; g++ {
+			els := GroupElements(tc.t, tc.ng, g)
+			for _, el := range els {
+				if el < 0 || el >= t2 {
+					t.Fatalf("T=%d Ng=%d g=%d: element %d outside [0,%d)", tc.t, tc.ng, g, el, t2)
+				}
+				if owner[el] != -1 {
+					t.Fatalf("T=%d Ng=%d: element %d owned by both group %d and %d",
+						tc.t, tc.ng, el, owner[el], g)
+				}
+				owner[el] = g
+			}
+			total += len(els)
+		}
+		if total != t2 {
+			t.Fatalf("T=%d Ng=%d: groups cover %d elements, want %d", tc.t, tc.ng, total, t2)
+		}
+		for el, g := range owner {
+			if g == -1 {
+				t.Fatalf("T=%d Ng=%d: element %d unowned", tc.t, tc.ng, el)
+			}
+		}
+		// Load balance: group sizes differ by at most one element.
+		min, max := t2, 0
+		for g := 0; g < tc.ng; g++ {
+			n := len(GroupElements(tc.t, tc.ng, g))
+			if n < min {
+				min = n
+			}
+			if n > max {
+				max = n
+			}
+		}
+		if max-min > 1 {
+			t.Fatalf("T=%d Ng=%d: group sizes span [%d,%d], want near-equal", tc.t, tc.ng, min, max)
+		}
+		// Whole-line groups must own row-aligned contiguous runs.
+		if HoldsWholeLines(tc.t, tc.ng) {
+			for g := 0; g < tc.ng; g++ {
+				els := GroupElements(tc.t, tc.ng, g)
+				if els[0]%tc.t != 0 || len(els)%tc.t != 0 {
+					t.Fatalf("T=%d Ng=%d g=%d: HoldsWholeLines but elements %v are not whole rows",
+						tc.t, tc.ng, g, els)
+				}
+			}
+		}
+	}
+}
+
+func TestGroupElementsRejectsBadArgs(t *testing.T) {
+	for _, tc := range [][3]int{{4, 0, 0}, {4, 4, -1}, {4, 4, 4}, {4, -2, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("GroupElements(%d,%d,%d) accepted", tc[0], tc[1], tc[2])
+				}
+			}()
+			GroupElements(tc[0], tc[1], tc[2])
+		}()
+	}
+}
