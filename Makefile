@@ -1,12 +1,14 @@
 # Developer entry points. `make verify` is the gate every change must pass:
-# it builds all packages, runs vet, and runs the full test suite under the
-# race detector.
+# it builds all packages, runs vet, runs the full test suite, and runs it
+# again under the race detector (the parallel engine's determinism tests
+# only prove anything when raced).
 
 GO ?= go
+STATICCHECK_VERSION ?= 2025.1
 
-.PHONY: verify build vet test race fuzz
+.PHONY: verify build vet test race fuzz lint bench bench-baseline benchdiff
 
-verify: build vet race
+verify: build vet test race
 
 build:
 	$(GO) build ./...
@@ -23,3 +25,21 @@ race:
 # Short fuzz pass over the activation-predictor safety invariant.
 fuzz:
 	$(GO) test -fuzz=FuzzPredictorNeverUnderestimates -fuzztime=30s ./internal/quant/
+
+# Pinned staticcheck, fetched on demand (requires network: runs in CI; on an
+# offline box this target is the only one that needs module downloads).
+lint:
+	$(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...
+
+# Run the full benchmark suite once, interactively.
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime 1x .
+
+# Record bench/BENCH_baseline.json from the current tree (commit the result).
+bench-baseline:
+	$(GO) run ./cmd/benchdiff -update
+
+# Snapshot the suite to bench/BENCH_<date>.json and gate the paper's model
+# metrics against the committed baseline (see EXPERIMENTS.md for the policy).
+benchdiff:
+	$(GO) run ./cmd/benchdiff

@@ -16,6 +16,7 @@ package conv
 import (
 	"fmt"
 
+	"mptwino/internal/parallel"
 	"mptwino/internal/tensor"
 )
 
@@ -79,7 +80,9 @@ func Fprop(p Params, x, w *tensor.Tensor) *tensor.Tensor {
 	p.checkW(w)
 	oh, ow := p.OutH(), p.OutW()
 	y := tensor.New(x.N, p.Out, oh, ow)
-	for b := 0; b < x.N; b++ {
+	// Each image owns a disjoint slab of y, so the batch loop shards freely
+	// with bit-identical results (per-pixel accumulation order unchanged).
+	parallel.ForEach(0, x.N, func(b int) {
 		for j := 0; j < p.Out; j++ {
 			for i := 0; i < p.In; i++ {
 				for yy := 0; yy < oh; yy++ {
@@ -103,7 +106,7 @@ func Fprop(p Params, x, w *tensor.Tensor) *tensor.Tensor {
 				}
 			}
 		}
-	}
+	})
 	return y
 }
 
@@ -120,7 +123,7 @@ func Bprop(p Params, dy, w *tensor.Tensor) *tensor.Tensor {
 	}
 	dx := tensor.New(dy.N, p.In, p.H, p.W)
 	// dx[b,i,ih,iw] = Σ_j Σ_kh Σ_kw dy[b,j, ih-kh+pad, iw-kw+pad] * w[j,i,kh,kw]
-	for b := 0; b < dy.N; b++ {
+	parallel.ForEach(0, dy.N, func(b int) {
 		for i := 0; i < p.In; i++ {
 			for j := 0; j < p.Out; j++ {
 				for ih := 0; ih < p.H; ih++ {
@@ -144,7 +147,7 @@ func Bprop(p Params, dy, w *tensor.Tensor) *tensor.Tensor {
 				}
 			}
 		}
-	}
+	})
 	return dx
 }
 
@@ -159,11 +162,16 @@ func UpdateGrad(p Params, x, dy *tensor.Tensor) *tensor.Tensor {
 			dy.ShapeString(), x.N, p.Out, oh, ow))
 	}
 	dw := tensor.New(p.Out, p.In, p.K, p.K)
-	for b := 0; b < x.N; b++ {
-		for j := 0; j < p.Out; j++ {
-			for i := 0; i < p.In; i++ {
-				for kh := 0; kh < p.K; kh++ {
-					for kw := 0; kw < p.K; kw++ {
+	// Every image contributes to every dw slot, so the batch dimension does
+	// not shard. Instead the output-filter dimension does: each j owns a
+	// disjoint dw slab, and moving the batch loop innermost keeps each
+	// slot's per-image accumulation in ascending-b order — the same
+	// floating-point sum the b-outer sequential loop produced.
+	parallel.ForEach(0, p.Out, func(j int) {
+		for i := 0; i < p.In; i++ {
+			for kh := 0; kh < p.K; kh++ {
+				for kw := 0; kw < p.K; kw++ {
+					for b := 0; b < x.N; b++ {
 						var acc float32
 						for yy := 0; yy < oh; yy++ {
 							ih := yy + kh - p.Pad
@@ -183,6 +191,6 @@ func UpdateGrad(p Params, x, dy *tensor.Tensor) *tensor.Tensor {
 				}
 			}
 		}
-	}
+	})
 	return dw
 }

@@ -1,0 +1,56 @@
+package conv
+
+import (
+	"testing"
+
+	"mptwino/internal/parallel"
+	"mptwino/internal/tensor"
+)
+
+// withWorkers runs fn under each global worker count and hands the result
+// tensors back for comparison against the sequential reference.
+func withWorkers(t *testing.T, workers int, fn func()) {
+	t.Helper()
+	prev := parallel.SetDefaultWorkers(workers)
+	defer parallel.SetDefaultWorkers(prev)
+	fn()
+}
+
+// TestKernelsBitIdenticalAcrossWorkers asserts the parallel direct-conv
+// kernels produce byte-identical tensors at every worker count: Fprop and
+// Bprop shard the batch (disjoint outputs), UpdateGrad shards output
+// filters with the per-slot batch accumulation order preserved, so no
+// floating-point reduction reorders.
+func TestKernelsBitIdenticalAcrossWorkers(t *testing.T) {
+	p := Params{In: 3, Out: 5, K: 3, Pad: 1, H: 9, W: 7}
+	x, w := randTensors(p, 4, 21)
+	dy := tensor.New(4, p.Out, p.OutH(), p.OutW())
+	tensor.NewRNG(22).FillNormal(dy, 0, 1)
+
+	var refY, refDX, refDW *tensor.Tensor
+	withWorkers(t, 1, func() {
+		refY = Fprop(p, x, w)
+		refDX = Bprop(p, dy, w)
+		refDW = UpdateGrad(p, x, dy)
+	})
+	for _, workers := range []int{2, 8} {
+		withWorkers(t, workers, func() {
+			checkSame(t, workers, "Fprop", refY, Fprop(p, x, w))
+			checkSame(t, workers, "Bprop", refDX, Bprop(p, dy, w))
+			checkSame(t, workers, "UpdateGrad", refDW, UpdateGrad(p, x, dy))
+		})
+	}
+}
+
+func checkSame(t *testing.T, workers int, kernel string, want, got *tensor.Tensor) {
+	t.Helper()
+	if len(want.Data) != len(got.Data) {
+		t.Fatalf("workers=%d %s: size %d vs %d", workers, kernel, len(got.Data), len(want.Data))
+	}
+	for i := range want.Data {
+		if want.Data[i] != got.Data[i] {
+			t.Fatalf("workers=%d %s: element %d differs: %v vs %v",
+				workers, kernel, i, got.Data[i], want.Data[i])
+		}
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"mptwino/internal/comm"
 	"mptwino/internal/gpu"
 	"mptwino/internal/model"
+	"mptwino/internal/parallel"
 	"mptwino/internal/sim"
 	"mptwino/internal/winograd"
 )
@@ -102,18 +103,27 @@ func Fig07() Result {
 	red := comm.Reductions{} // Fig. 7 is volumes only, no prediction
 	metrics := map[string]float64{}
 	fmt.Fprintf(&b, "%6s %14s %14s %14s\n", "p", "dp MB", "mpt(sqrt) MB", "mpt+dyn MB")
-	for _, p := range []int{4, 16, 64, 256} {
+	ps := []int{4, 16, 64, 256}
+	type volRow struct{ dp, mpt, dyn comm.Volumes }
+	// The (p, strategy) cells are independent whole-network volume sweeps —
+	// the scaling-curve hot path — so they fan out across the worker pool
+	// and fold back in p order.
+	rows := parallel.Map(0, len(ps), func(i int) volRow {
+		p := ps[i]
 		root := isqrt(p)
 		dp := comm.NetworkVolumes(net, winograd.F4x4_3x3, comm.Strategy{Ng: 1, Nc: p, Winograd: true})
 		mpt := comm.NetworkVolumes(net, winograd.F2x2_3x3, comm.Strategy{Ng: root, Nc: p / root, Winograd: true})
 		dyn, _ := comm.NetworkVolumesDynamic(net, p, fabric, false, red)
+		return volRow{dp: dp, mpt: mpt, dyn: dyn}
+	})
+	for i, p := range ps {
 		mb := func(v comm.Volumes) float64 { return float64(v.Total()) / 1e6 }
-		fmt.Fprintf(&b, "%6d %14.1f %14.1f %14.1f\n", p, mb(dp), mb(mpt), mb(dyn))
+		fmt.Fprintf(&b, "%6d %14.1f %14.1f %14.1f\n", p, mb(rows[i].dp), mb(rows[i].mpt), mb(rows[i].dyn))
 		if p == 256 {
-			metrics["dp_MB_p256"] = mb(dp)
-			metrics["mpt_MB_p256"] = mb(mpt)
-			metrics["dyn_MB_p256"] = mb(dyn)
-			metrics["dyn_vs_mpt_reduction"] = mb(mpt) / mb(dyn)
+			metrics["dp_MB_p256"] = mb(rows[i].dp)
+			metrics["mpt_MB_p256"] = mb(rows[i].mpt)
+			metrics["dyn_MB_p256"] = mb(rows[i].dyn)
+			metrics["dyn_vs_mpt_reduction"] = mb(rows[i].mpt) / mb(rows[i].dyn)
 		}
 	}
 	return Result{
@@ -142,12 +152,23 @@ func Fig15() Result {
 	fmt.Fprintf(&b, "%-8s %-7s %3s %10s %10s %10s %12s\n", "layer", "config", "Ng", "fwd(norm)", "bwd(norm)", "tot(norm)", "energy(norm)")
 	var sumDp, sumFull, sumPred float64
 	var sumDpMid, sumPredMid, sumDpLate, sumPredLate float64
-	for li, l := range model.FiveLayers() {
-		ref := s.SimulateLayer(l, 256, sim.WDp)
+	layers := model.FiveLayers()
+	cfgs := sim.AllConfigs()
+	// Fan every (layer, config) simulation out as one flat cell grid, then
+	// fold sequentially in the original row order so the table and the
+	// metric sums are bit-identical to the sequential loop.
+	refs := parallel.Map(s.Parallel, len(layers), func(i int) sim.LayerResult {
+		return s.SimulateLayer(layers[i], 256, sim.WDp)
+	})
+	cells := parallel.Map(s.Parallel, len(layers)*len(cfgs), func(i int) sim.LayerResult {
+		return s.SimulateLayer(layers[i/len(cfgs)], 256, cfgs[i%len(cfgs)])
+	})
+	for li, l := range layers {
+		ref := refs[li]
 		refFwd := ref.ForwardSec
 		refEnergy := ref.Energy.Total()
-		for _, c := range sim.AllConfigs() {
-			r := s.SimulateLayer(l, 256, c)
+		for ci, c := range cfgs {
+			r := cells[li*len(cfgs)+ci]
 			fmt.Fprintf(&b, "%-8s %-7s %3d %10.2f %10.2f %10.2f %12.2f\n",
 				l.Name, c, r.Ng, r.ForwardSec/refFwd, r.BackwardSec/refFwd,
 				r.TotalSec()/refFwd, r.Energy.Total()/refEnergy)
@@ -224,12 +245,20 @@ func Fig17() Result {
 	var b strings.Builder
 	metrics := map[string]float64{}
 	var dpSum, fullSum, gpu8Sum float64
-	for _, net := range model.AllNetworks() {
-		base := sim.SingleWorkerBaseline(net)
+	nets := model.AllNetworks()
+	cfgs := sim.AllConfigs()[1:] // skip d_dp for CNN-level
+	// The 1-NDP baselines are full sequential network walks — fan them out
+	// per network; each network's config sweep then fans out its own
+	// (layer, config) cells through sim.Sweep.
+	bases := parallel.Map(s.Parallel, len(nets), func(i int) sim.NetworkResult {
+		return sim.SingleWorkerBaseline(nets[i])
+	})
+	for ni, net := range nets {
+		base := bases[ni]
 		fmt.Fprintf(&b, "%s (batch %d, 1-NDP baseline %.2f img/s)\n", net.Name, net.Batch, base.ImagesPerSec)
-		for _, c := range sim.AllConfigs()[1:] { // skip d_dp for CNN-level
-			r := s.SimulateNetwork(net, c)
-			sp := sim.Speedup(r, base)
+		sweep := s.Sweep(net, cfgs)
+		for ci, c := range cfgs {
+			sp := sim.Speedup(sweep[ci], base)
 			fmt.Fprintf(&b, "  ndp-256 %-7s %10.1fx\n", c, sp)
 			metrics[net.Name+"/"+c.String()] = sp
 			if c == sim.WDp {

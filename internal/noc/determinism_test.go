@@ -1,0 +1,165 @@
+package noc
+
+import (
+	"reflect"
+	"testing"
+
+	"mptwino/internal/fault"
+	"mptwino/internal/topology"
+)
+
+// msgRecord is the per-message observable outcome compared across worker
+// counts: if any flit-level event reordered, delivery times or retry
+// counts would shift and the comparison would fail.
+type msgRecord struct {
+	ID, Src, Dst, Bytes, Tag, Retries int
+	InjectedAt, DeliveredAt           int64
+}
+
+// runDeterminism executes one scenario at the given shard worker count and
+// returns the run's stats plus every message's observable outcome.
+func runDeterminism(t *testing.T, workers int, build func() (*topology.Graph, Config, Driver, *fault.Plan)) (Stats, []msgRecord) {
+	t.Helper()
+	g, cfg, d, plan := build()
+	cfg.ShardWorkers = workers
+	n := New(g, cfg)
+	if plan != nil {
+		if err := n.AttachFaults(plan); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := n.Run(d, 50_000_000)
+	if err != nil {
+		t.Fatalf("workers=%d: %v", workers, err)
+	}
+	msgs := make([]msgRecord, len(n.messages))
+	for i, m := range n.messages {
+		msgs[i] = msgRecord{
+			ID: m.ID, Src: m.Src, Dst: m.Dst, Bytes: m.Bytes, Tag: m.Tag,
+			Retries: m.Retries, InjectedAt: m.InjectedAt, DeliveredAt: m.DeliveredAt,
+		}
+	}
+	return st, msgs
+}
+
+// TestParallelStepBitIdentical cross-checks the sharded cycle loop against
+// the sequential path: for every scenario (collectives, all-to-all with
+// randomized routing, hotspots, concurrent traffic, link faults with
+// retransmission) the full Stats and the per-message event times must be
+// byte-identical across worker counts {1, 2, 8}.
+func TestParallelStepBitIdentical(t *testing.T) {
+	members := func(k int) []int {
+		m := make([]int, k)
+		for i := range m {
+			m[i] = i
+		}
+		return m
+	}
+	scenarios := []struct {
+		name  string
+		build func() (*topology.Graph, Config, Driver, *fault.Plan)
+	}{
+		{"ring-collective", func() (*topology.Graph, Config, Driver, *fault.Plan) {
+			return topology.Ring(16), DefaultConfig(),
+				&RingCollective{Members: members(16), Bytes: 16 * 1024}, nil
+		}},
+		{"fbfly-alltoall", func() (*topology.Graph, Config, Driver, *fault.Plan) {
+			return topology.FBFly2D(4), DefaultConfig(),
+				&AllToAll{Members: members(16), Bytes: 2048}, nil
+		}},
+		{"fbfly-alltoall-random-seed7", func() (*topology.Graph, Config, Driver, *fault.Plan) {
+			cfg := DefaultConfig()
+			cfg.RandomFirstHop = true
+			cfg.Seed = 7
+			return topology.FBFly2D(4), cfg, &AllToAll{Members: members(16), Bytes: 2048}, nil
+		}},
+		{"fbfly-alltoall-random-seed99", func() (*topology.Graph, Config, Driver, *fault.Plan) {
+			cfg := DefaultConfig()
+			cfg.RandomFirstHop = true
+			cfg.Seed = 99
+			return topology.FBFly2D(4), cfg, &AllToAll{Members: members(16), Bytes: 2048}, nil
+		}},
+		{"hotspot", func() (*topology.Graph, Config, Driver, *fault.Plan) {
+			return topology.FBFly2D(4), DefaultConfig(),
+				&Hotspot{Members: members(16), Dst: 5, Bytes: 4096}, nil
+		}},
+		{"multi-driver", func() (*topology.Graph, Config, Driver, *fault.Plan) {
+			return topology.Ring(16), DefaultConfig(), NewMultiDriver(
+				&RingCollective{Members: members(8), Bytes: 4096},
+				&Hotspot{Members: []int{8, 9, 10, 11}, Dst: 9, Bytes: 2048},
+			), nil
+		}},
+		{"link-faults-with-retransmit", func() (*topology.Graph, Config, Driver, *fault.Plan) {
+			plan := fault.NewPlan(42).
+				DegradeLink(0, 1, 0, 0, 0.25, 10).
+				DropOnLink(2, 3, 0, 5000, 0.2)
+			return topology.FBFly2D(4), DefaultConfig(),
+				&AllToAll{Members: members(16), Bytes: 1024}, plan
+		}},
+	}
+	for _, sc := range scenarios {
+		t.Run(sc.name, func(t *testing.T) {
+			refStats, refMsgs := runDeterminism(t, 1, sc.build)
+			if refStats.Cycles == 0 {
+				t.Fatal("sequential reference run did no work")
+			}
+			for _, workers := range []int{2, 8} {
+				st, msgs := runDeterminism(t, workers, sc.build)
+				if !reflect.DeepEqual(refStats, st) {
+					t.Errorf("workers=%d: stats differ\nseq: %+v\npar: %+v", workers, refStats, st)
+				}
+				if !reflect.DeepEqual(refMsgs, msgs) {
+					t.Errorf("workers=%d: per-message outcomes differ (count %d vs %d)",
+						workers, len(refMsgs), len(msgs))
+					for i := range refMsgs {
+						if i < len(msgs) && refMsgs[i] != msgs[i] {
+							t.Errorf("  first divergence at message %d:\nseq: %+v\npar: %+v",
+								i, refMsgs[i], msgs[i])
+							break
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestShardWorkersValidation rejects negative shard counts and accepts the
+// sequential settings.
+func TestShardWorkersValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ShardWorkers = -1
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("negative ShardWorkers passed validation")
+	}
+	for _, w := range []int{0, 1, 8} {
+		cfg.ShardWorkers = w
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("ShardWorkers=%d rejected: %v", w, err)
+		}
+	}
+}
+
+// TestShardedStepUnderNodeFailure exercises the sequential stage-0 fault
+// path (node death, topology mutation, route rebuild) interleaved with
+// sharded stages: outcomes must match the sequential path exactly. Traffic
+// avoids the dying node so the run completes.
+func TestShardedStepUnderNodeFailure(t *testing.T) {
+	build := func() (*topology.Graph, Config, Driver, *fault.Plan) {
+		// Node 15 dies early; traffic among nodes 0..11 must reroute
+		// around it on the FBFLY and still complete identically.
+		plan := fault.NewPlan(7).FailNode(15, 200)
+		return topology.FBFly2D(4), DefaultConfig(),
+			&AllToAll{Members: []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11}, Bytes: 2048}, plan
+	}
+	refStats, refMsgs := runDeterminism(t, 1, build)
+	for _, workers := range []int{2, 8} {
+		st, msgs := runDeterminism(t, workers, build)
+		if !reflect.DeepEqual(refStats, st) {
+			t.Errorf("workers=%d: stats differ under node failure\nseq: %+v\npar: %+v", workers, refStats, st)
+		}
+		if !reflect.DeepEqual(refMsgs, msgs) {
+			t.Errorf("workers=%d: message outcomes differ under node failure", workers)
+		}
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"fmt"
 
 	"mptwino/internal/fault"
+	"mptwino/internal/parallel"
 	"mptwino/internal/topology"
 )
 
@@ -35,6 +36,13 @@ type Config struct {
 	RandomFirstHop bool
 	// Seed drives the first-hop randomization (deterministic per seed).
 	Seed uint64
+
+	// ShardWorkers shards the per-cycle link and router updates across
+	// this many goroutines with a barrier per stage (0 or 1 = sequential).
+	// Flit-level results are bit-identical for every value — see
+	// parallel.go for the partitioning argument and the determinism test
+	// for the cross-check.
+	ShardWorkers int
 
 	// RetryTimeout is the number of cycles the retransmit protocol waits
 	// after a flit drop before re-sending a message's missing bytes from
@@ -82,6 +90,9 @@ func (c Config) Validate() error {
 	}
 	if c.MaxRetries < 0 {
 		return fmt.Errorf("noc: MaxRetries must be non-negative, got %d", c.MaxRetries)
+	}
+	if c.ShardWorkers < 0 {
+		return fmt.Errorf("noc: ShardWorkers must be non-negative, got %d", c.ShardWorkers)
 	}
 	return nil
 }
@@ -134,6 +145,7 @@ type link struct {
 	class       topology.LinkClass
 	flitsPerCyc int
 	latency     int64
+	dst         *port // the link's input queue at `to` (one feeder per port)
 	pipeline    []inFlight
 	// stats
 	busyFlits int64
@@ -154,6 +166,10 @@ type Network struct {
 	outLinks [][]int         // node -> indices into links
 	linkIdx  map[[2]int]int  // (from,to) -> link index
 	inPorts  []map[int]*port // node -> from-node -> queue
+	// inOrder lists each node's input ports in link-construction order —
+	// the deterministic iteration the cycle loop uses instead of map
+	// ranging, so ejection and fault-drain orders are reproducible.
+	inOrder [][]*port
 	// injectQ is per outgoing link, not per node: locally injected flits
 	// queue at the output port their route departs through, so messages
 	// bound for different links never head-of-line block each other.
@@ -172,6 +188,14 @@ type Network struct {
 	pendingFailures []fault.NodeFault
 	retryQ          []*Message // messages with dropped bytes awaiting timeout
 	lost            []*Message // messages declared undeliverable
+
+	// sharded-stepping machinery (parallel.go): the shard plan always
+	// exists (a single full-range shard when sequential); the pool only
+	// when ShardWorkers > 1.
+	pool      *parallel.Pool
+	nodeShard [][2]int
+	linkShard [][2]int
+	scratch   []stepScratch
 
 	// Stats
 	BytesByClass map[topology.LinkClass]int64
@@ -194,6 +218,7 @@ func New(g *topology.Graph, cfg Config) *Network {
 		outLinks:     make([][]int, g.N),
 		linkIdx:      make(map[[2]int]int),
 		inPorts:      make([]map[int]*port, g.N),
+		inOrder:      make([][]*port, g.N),
 		BytesByClass: make(map[topology.LinkClass]int64),
 	}
 	for v := 0; v < g.N; v++ {
@@ -217,13 +242,17 @@ func New(g *topology.Graph, cfg Config) *Network {
 			n.linkIdx[[2]int{from, e.To}] = len(n.links)
 			n.outLinks[from] = append(n.outLinks[from], len(n.links))
 			n.links = append(n.links, l)
-			n.inPorts[e.To][from] = &port{}
+			p := &port{}
+			l.dst = p
+			n.inPorts[e.To][from] = p
+			n.inOrder[e.To] = append(n.inOrder[e.To], p)
 		}
 	}
 	n.rr = make([]int, len(n.links))
 	n.injectQ = make([][]flit, len(n.links))
 	n.rngState = cfg.Seed ^ 0x632be59bd9b4e019
 	n.failed = make([]bool, g.N)
+	n.buildShards()
 	return n
 }
 
@@ -273,7 +302,7 @@ func (n *Network) FailNode(v int) {
 		}
 		n.injectQ[li] = nil
 	}
-	for _, p := range n.inPorts[v] {
+	for _, p := range n.inOrder[v] {
 		for _, f := range p.queue {
 			n.dropForFailure(f, v)
 		}
@@ -314,7 +343,7 @@ func (n *Network) sweepUnroutable() {
 		}
 		return kept
 	}
-	for v, ports := range n.inPorts {
+	for v, ports := range n.inOrder {
 		for _, p := range ports {
 			p.queue = drain(p.queue, v)
 		}
@@ -525,6 +554,7 @@ func (s Stats) Duration(clockHz float64) float64 { return float64(s.Cycles) / cl
 // run immediately with a descriptive error rather than spinning to
 // maxCycles.
 func (n *Network) Run(d Driver, maxCycles int64) (Stats, error) {
+	defer n.Close() // release the sharded stepper's pool, if one started
 	d.Start(n)
 	for {
 		if err := n.LostErr(); err != nil {
@@ -577,7 +607,7 @@ func (n *Network) idle() bool {
 			return false
 		}
 	}
-	for _, ports := range n.inPorts {
+	for _, ports := range n.inOrder {
 		for _, p := range ports {
 			if len(p.queue) > 0 {
 				return false
@@ -588,46 +618,48 @@ func (n *Network) idle() bool {
 }
 
 // step advances one cycle: scheduled fault events, retransmit timers, link
-// arrivals, ejection, then output arbitration and transmission.
+// arrivals, ejection, then output arbitration and transmission. The three
+// sweeps run over the shard plan — a single full-range shard sequentially,
+// or Cfg.ShardWorkers shards on the worker pool with a barrier per stage;
+// both orders fold identically (parallel.go), so flit-level results are
+// bit-identical for every worker count.
 func (n *Network) step(d Driver) {
+	n.ensurePool()
 	n.now++
 
-	// 0. Fire scheduled module failures and due retransmit timers.
+	// 0. Fire scheduled module failures and due retransmit timers. Both
+	// mutate global routing/retry state, so this stage stays sequential.
 	for len(n.pendingFailures) > 0 && n.pendingFailures[0].At <= n.now {
 		n.FailNode(n.pendingFailures[0].Node)
 		n.pendingFailures = n.pendingFailures[1:]
 	}
 	n.processRetries()
 
-	// 1. Deliver pipeline arrivals into downstream input queues (if space).
-	for _, l := range n.links {
-		if l.dead {
-			continue
+	// 1. Deliver pipeline arrivals into downstream input queues (if
+	// space). Each link touches only its own pipeline and its unique
+	// destination port, so links shard freely.
+	n.runStage(func(s int) {
+		r := n.linkShard[s]
+		for li := r[0]; li < r[1]; li++ {
+			n.arriveLink(li)
 		}
-		kept := l.pipeline[:0]
-		p := n.inPorts[l.to][l.from]
-		for _, inf := range l.pipeline {
-			if inf.arriveAt <= n.now && len(p.queue) < n.Cfg.BufferFlits {
-				p.queue = append(p.queue, inf.f)
-			} else {
-				kept = append(kept, inf)
-			}
-		}
-		l.pipeline = kept
-	}
+	})
 
-	// 2. Eject flits destined to their local node.
-	for v := 0; v < n.G.N; v++ {
-		for _, p := range n.inPorts[v] {
-			kept := p.queue[:0]
-			for _, f := range p.queue {
-				if f.msg.Dst == v {
-					n.deliverFlit(d, f)
-				} else {
-					kept = append(kept, f)
-				}
-			}
-			p.queue = kept
+	// 2. Eject flits destined to their local node: parallel scans pop
+	// destined flits per node, then deliveries — which may inject
+	// follow-up traffic and consume the shared RNG — run after the
+	// barrier in ascending node order.
+	n.runStage(func(s int) {
+		sc := &n.scratch[s]
+		sc.eject = sc.eject[:0]
+		r := n.nodeShard[s]
+		for v := r[0]; v < r[1]; v++ {
+			n.scanNode(v, sc)
+		}
+	})
+	for i := range n.scratch {
+		for _, f := range n.scratch[i].eject {
+			n.deliverFlit(d, f)
 		}
 	}
 
@@ -637,63 +669,18 @@ func (n *Network) step(d Driver) {
 	// plan each cycle: degraded bandwidth throttles the budget through a
 	// fractional-credit accumulator, extra SerDes stretches the pipeline,
 	// and drop faults destroy flits in transit (scheduling retransmission).
-	for li, l := range n.links {
-		if l.dead {
-			continue
+	// Shards own whole routers, so every queue a link arbitrates over is
+	// shard-local; statistics and drop events fold after the barrier.
+	n.runStage(func(s int) {
+		sc := &n.scratch[s]
+		sc.resetTransmit()
+		r := n.linkShard[s]
+		for li := r[0]; li < r[1]; li++ {
+			n.transmitLink(li, sc)
 		}
-		budget := l.flitsPerCyc
-		latency := l.latency
-		if len(l.faults) > 0 {
-			scale, extra := fault.LinkState(l.faults, n.now)
-			latency += int64(extra)
-			if scale <= 0 {
-				continue
-			}
-			if scale < 1 {
-				l.credit += scale * float64(l.flitsPerCyc)
-				budget = int(l.credit)
-				if budget < 1 {
-					continue // sub-flit credit accumulates for later cycles
-				}
-				l.credit -= float64(budget)
-			}
-		}
-		sources := n.arbSources(l.from, li)
-		ns := len(sources)
-		if ns == 0 {
-			continue
-		}
-		sent := 0
-		start := n.rr[li] % ns
-		for s := 0; s < ns && budget > 0; s++ {
-			src := sources[(start+s)%ns]
-			for budget > 0 && len(*src.q) > 0 {
-				f := (*src.q)[0]
-				// Flits in this link's injection queue already committed to
-				// this first hop (possibly a randomized minimal choice);
-				// transit flits follow the deterministic route table.
-				if !src.inject && n.Routes.NextHop(l.from, f.msg.Dst) != l.to {
-					break // head flit routes elsewhere; try next source
-				}
-				*src.q = (*src.q)[1:]
-				l.busyFlits++
-				budget--
-				if len(l.faults) > 0 && n.plan != nil &&
-					fault.DropFlit(n.plan.Seed, l.faults, l.from, l.to, n.now, sent) {
-					// Corrupted in transit: the slot is consumed but the
-					// flit never arrives; the source retransmits on timeout.
-					n.DroppedFlits++
-					n.scheduleRetry(f.msg, f.bytes)
-					sent++
-					continue
-				}
-				l.pipeline = append(l.pipeline, inFlight{f: f, arriveAt: n.now + latency})
-				n.FlitHops++
-				n.BytesByClass[l.class] += int64(f.bytes)
-				sent++
-			}
-		}
-		n.rr[li] = (start + 1) % ns
+	})
+	for i := range n.scratch {
+		n.applyTransmit(&n.scratch[i])
 	}
 }
 

@@ -1,0 +1,232 @@
+package noc
+
+import (
+	"mptwino/internal/fault"
+	"mptwino/internal/parallel"
+	"mptwino/internal/topology"
+)
+
+// Sharded cycle execution. With Config.ShardWorkers > 1 the three
+// per-cycle sweeps (pipeline arrivals, ejection, transmission) each run
+// partitioned across a persistent worker pool with a barrier between
+// stages. The partitioning keeps all mutated state shard-local:
+//
+//   - Links are grouped by their source router. Every output link of a
+//     router arbitrates over the same input ports, so a shard owns whole
+//     routers (contiguous node ranges) and with them every queue its links
+//     read or write. Links were built in source-ascending order, so a node
+//     range maps to a contiguous link range.
+//   - Arrivals write only the link's own pipeline and its unique
+//     destination port (one feeder link per port).
+//   - Ejection scans pop destined flits into per-shard lists; the actual
+//     deliveries (which can inject follow-up traffic and consume the
+//     shared RNG) happen after the barrier, in ascending node order —
+//     exactly the sequential order.
+//   - Transmission accumulates statistics and flit-drop events per shard;
+//     they fold into the global counters and the retransmit queue after
+//     the barrier, in ascending link order — again the sequential order.
+//
+// The sequential path (ShardWorkers <= 1) runs the same stage bodies over
+// a single full-range shard, so both paths are one code path and the
+// parallel results are bit-identical by construction. The determinism
+// test asserts this across worker counts and seeds.
+
+// dropEvent is one flit destroyed by a fault during transmission, recorded
+// per shard and folded into the retransmit machinery after the barrier.
+type dropEvent struct {
+	msg   *Message
+	bytes int
+}
+
+// stepScratch is one shard's per-cycle workspace.
+type stepScratch struct {
+	eject        []flit
+	flitHops     int64
+	dropped      int64
+	bytesByClass [topology.Host + 1]int64
+	drops        []dropEvent
+
+	_ [64]byte // keep adjacent shards' counters off one cache line
+}
+
+// resetTransmit clears the transmission-stage accumulators.
+func (sc *stepScratch) resetTransmit() {
+	sc.flitHops = 0
+	sc.dropped = 0
+	for i := range sc.bytesByClass {
+		sc.bytesByClass[i] = 0
+	}
+	sc.drops = sc.drops[:0]
+}
+
+// buildShards plans the node/link partition for the configured worker
+// count. Called once from New; the plan indexes never change afterwards
+// (module failures only mark links dead, they do not renumber).
+func (n *Network) buildShards() {
+	w := n.Cfg.ShardWorkers
+	if w < 1 {
+		w = 1
+	}
+	n.nodeShard = parallel.Shards(n.G.N, w)
+	if len(n.nodeShard) == 0 {
+		n.nodeShard = [][2]int{{0, 0}}
+	}
+	// linkStart[v] = index of the first link departing node v (links are
+	// built in source-ascending order).
+	linkStart := make([]int, n.G.N+1)
+	for v := 0; v < n.G.N; v++ {
+		linkStart[v+1] = linkStart[v] + len(n.outLinks[v])
+	}
+	n.linkShard = make([][2]int, len(n.nodeShard))
+	for i, r := range n.nodeShard {
+		n.linkShard[i] = [2]int{linkStart[r[0]], linkStart[r[1]]}
+	}
+	n.scratch = make([]stepScratch, len(n.nodeShard))
+}
+
+// ensurePool lazily starts the worker pool behind sharded stepping. Run
+// closes it on return; Step-driven co-simulations should call Close when
+// finished with the network.
+func (n *Network) ensurePool() {
+	if n.pool == nil && len(n.scratch) > 1 {
+		n.pool = parallel.NewPool(len(n.scratch))
+	}
+}
+
+// Close releases the sharded stepper's worker pool, if any. It is safe to
+// call on a sequential network and to call more than once; the network
+// remains usable (the pool restarts on demand).
+func (n *Network) Close() {
+	if n.pool != nil {
+		n.pool.Close()
+		n.pool = nil
+	}
+}
+
+// runStage executes fn for every shard: on the pool when sharding is
+// active, inline otherwise.
+func (n *Network) runStage(fn func(shard int)) {
+	if n.pool != nil {
+		n.pool.Run(fn)
+		return
+	}
+	for s := range n.scratch {
+		fn(s)
+	}
+}
+
+// arriveLink delivers link li's due pipeline flits into its destination
+// input port, as buffer space allows (stage 1 for one link).
+func (n *Network) arriveLink(li int) {
+	l := n.links[li]
+	if l.dead {
+		return
+	}
+	kept := l.pipeline[:0]
+	p := l.dst
+	for _, inf := range l.pipeline {
+		if inf.arriveAt <= n.now && len(p.queue) < n.Cfg.BufferFlits {
+			p.queue = append(p.queue, inf.f)
+		} else {
+			kept = append(kept, inf)
+		}
+	}
+	l.pipeline = kept
+}
+
+// scanNode pops the flits destined to node v from its input ports into the
+// shard's ejection list (stage 2 scan for one node). Ports are visited in
+// their fixed construction order, so concatenating the shards' lists in
+// shard order reproduces the sequential ejection order exactly.
+func (n *Network) scanNode(v int, sc *stepScratch) {
+	for _, p := range n.inOrder[v] {
+		kept := p.queue[:0]
+		for _, f := range p.queue {
+			if f.msg.Dst == v {
+				sc.eject = append(sc.eject, f)
+			} else {
+				kept = append(kept, f)
+			}
+		}
+		p.queue = kept
+	}
+}
+
+// transmitLink arbitrates and transmits up to one cycle's flit budget on
+// link li (stage 3 for one link), accumulating statistics and drop events
+// in the shard scratch.
+func (n *Network) transmitLink(li int, sc *stepScratch) {
+	l := n.links[li]
+	if l.dead {
+		return
+	}
+	budget := l.flitsPerCyc
+	latency := l.latency
+	if len(l.faults) > 0 {
+		scale, extra := fault.LinkState(l.faults, n.now)
+		latency += int64(extra)
+		if scale <= 0 {
+			return
+		}
+		if scale < 1 {
+			l.credit += scale * float64(l.flitsPerCyc)
+			budget = int(l.credit)
+			if budget < 1 {
+				return // sub-flit credit accumulates for later cycles
+			}
+			l.credit -= float64(budget)
+		}
+	}
+	sources := n.arbSources(l.from, li)
+	ns := len(sources)
+	if ns == 0 {
+		return
+	}
+	sent := 0
+	start := n.rr[li] % ns
+	for s := 0; s < ns && budget > 0; s++ {
+		src := sources[(start+s)%ns]
+		for budget > 0 && len(*src.q) > 0 {
+			f := (*src.q)[0]
+			// Flits in this link's injection queue already committed to
+			// this first hop (possibly a randomized minimal choice);
+			// transit flits follow the deterministic route table.
+			if !src.inject && n.Routes.NextHop(l.from, f.msg.Dst) != l.to {
+				break // head flit routes elsewhere; try next source
+			}
+			*src.q = (*src.q)[1:]
+			l.busyFlits++
+			budget--
+			if len(l.faults) > 0 && n.plan != nil &&
+				fault.DropFlit(n.plan.Seed, l.faults, l.from, l.to, n.now, sent) {
+				// Corrupted in transit: the slot is consumed but the
+				// flit never arrives; the source retransmits on timeout.
+				sc.dropped++
+				sc.drops = append(sc.drops, dropEvent{msg: f.msg, bytes: f.bytes})
+				sent++
+				continue
+			}
+			l.pipeline = append(l.pipeline, inFlight{f: f, arriveAt: n.now + latency})
+			sc.flitHops++
+			sc.bytesByClass[l.class] += int64(f.bytes)
+			sent++
+		}
+	}
+	n.rr[li] = (start + 1) % ns
+}
+
+// applyTransmit folds one shard's transmission results into the global
+// counters and retransmit queue. Shards fold in ascending order, so drop
+// events arm retry timers in the same order the sequential loop would.
+func (n *Network) applyTransmit(sc *stepScratch) {
+	n.FlitHops += sc.flitHops
+	n.DroppedFlits += sc.dropped
+	for class, b := range sc.bytesByClass {
+		if b != 0 {
+			n.BytesByClass[topology.LinkClass(class)] += b
+		}
+	}
+	for _, ev := range sc.drops {
+		n.scheduleRetry(ev.msg, ev.bytes)
+	}
+}

@@ -1,0 +1,192 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersResolution(t *testing.T) {
+	cases := []struct {
+		requested, items, want int
+	}{
+		{0, 100, DefaultWorkers()},
+		{4, 2, 2},    // never more workers than items
+		{4, 100, 4},  // explicit request honored
+		{-3, 1, 1},   // negative → default, clamped to items
+		{8, 0, 1},    // degenerate item count still yields a valid pool
+		{1, 1000, 1}, // sequential request stays sequential
+	}
+	for _, c := range cases {
+		if got := Workers(c.requested, c.items); got != c.want {
+			t.Errorf("Workers(%d, %d) = %d, want %d", c.requested, c.items, got, c.want)
+		}
+	}
+}
+
+func TestSetDefaultWorkersRoundTrip(t *testing.T) {
+	orig := DefaultWorkers()
+	prev := SetDefaultWorkers(3)
+	if prev != orig {
+		t.Fatalf("SetDefaultWorkers returned %d, want previous %d", prev, orig)
+	}
+	if DefaultWorkers() != 3 {
+		t.Fatalf("DefaultWorkers = %d after override, want 3", DefaultWorkers())
+	}
+	SetDefaultWorkers(0) // restore env/GOMAXPROCS default
+	if DefaultWorkers() < 1 {
+		t.Fatalf("restored default %d < 1", DefaultWorkers())
+	}
+	SetDefaultWorkers(orig)
+}
+
+func TestMapDeterministicOrdering(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		got := Map(workers, 1000, func(i int) int { return i * i })
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestForEachRunsEveryItemExactlyOnce(t *testing.T) {
+	counts := make([]int32, 500)
+	ForEach(7, len(counts), func(i int) { atomic.AddInt32(&counts[i], 1) })
+	for i, c := range counts {
+		if c != 1 {
+			t.Fatalf("item %d ran %d times", i, c)
+		}
+	}
+}
+
+func TestForEachErrReturnsLowestIndexError(t *testing.T) {
+	// Every odd item fails; the lowest failing index (1) must win
+	// regardless of schedule.
+	for _, workers := range []int{1, 2, 8} {
+		err := ForEachErr(workers, 64, func(i int) error {
+			if i%2 == 1 {
+				return fmt.Errorf("item %d", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "item 1" {
+			t.Fatalf("workers=%d: err = %v, want item 1", workers, err)
+		}
+	}
+}
+
+func TestForEachErrStopsSchedulingAfterError(t *testing.T) {
+	var ran int32
+	sentinel := errors.New("boom")
+	err := ForEachErr(2, 100000, func(i int) error {
+		atomic.AddInt32(&ran, 1)
+		return sentinel
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want %v", err, sentinel)
+	}
+	if n := atomic.LoadInt32(&ran); n > 100 {
+		t.Fatalf("ran %d items after first error; cancellation not effective", n)
+	}
+}
+
+func TestMapErrSuccessAndFailure(t *testing.T) {
+	out, err := MapErr(4, 10, func(i int) (int, error) { return i + 1, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i+1 {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+	_, err = MapErr(4, 10, func(i int) (int, error) {
+		if i == 3 {
+			return 0, errors.New("three")
+		}
+		return i, nil
+	})
+	if err == nil || err.Error() != "three" {
+		t.Fatalf("err = %v, want three", err)
+	}
+}
+
+func TestForEachPanicPropagates(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		func() {
+			defer func() {
+				if r := recover(); r != "kaboom" {
+					t.Fatalf("workers=%d: recovered %v, want kaboom", workers, r)
+				}
+			}()
+			ForEach(workers, 16, func(i int) {
+				if i == 5 {
+					panic("kaboom")
+				}
+			})
+			t.Fatalf("workers=%d: ForEach returned without panicking", workers)
+		}()
+	}
+}
+
+func TestShardsCoverContiguously(t *testing.T) {
+	for _, c := range []struct{ n, workers int }{{10, 3}, {1, 8}, {16, 16}, {7, 2}, {0, 4}} {
+		shards := Shards(c.n, c.workers)
+		covered := 0
+		prev := 0
+		for _, s := range shards {
+			if s[0] != prev {
+				t.Fatalf("Shards(%d,%d): gap at %d", c.n, c.workers, s[0])
+			}
+			if s[1] <= s[0] {
+				t.Fatalf("Shards(%d,%d): empty shard %v", c.n, c.workers, s)
+			}
+			covered += s[1] - s[0]
+			prev = s[1]
+		}
+		if covered != c.n {
+			t.Fatalf("Shards(%d,%d) covered %d items", c.n, c.workers, covered)
+		}
+		if len(shards) > c.workers && c.workers > 0 {
+			t.Fatalf("Shards(%d,%d) produced %d shards", c.n, c.workers, len(shards))
+		}
+	}
+}
+
+func TestPoolBarrierAndReuse(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	if p.Workers() != 4 {
+		t.Fatalf("Workers = %d", p.Workers())
+	}
+	// Many successive barriers must each see every shard exactly once —
+	// the per-cycle usage pattern of the NoC stepper.
+	for cycle := 0; cycle < 200; cycle++ {
+		var mask int32
+		p.Run(func(shard int) {
+			atomic.AddInt32(&mask, 1<<shard)
+		})
+		if mask != 0b1111 {
+			t.Fatalf("cycle %d: shard mask %04b", cycle, mask)
+		}
+	}
+}
+
+func TestPoolPanicPropagates(t *testing.T) {
+	p := NewPool(3)
+	defer p.Close()
+	defer func() {
+		if r := recover(); r != "shard-fail" {
+			t.Fatalf("recovered %v", r)
+		}
+	}()
+	p.Run(func(shard int) {
+		if shard == 1 {
+			panic("shard-fail")
+		}
+	})
+	t.Fatal("Run returned without panicking")
+}

@@ -1,0 +1,72 @@
+package parallel
+
+import "sync"
+
+// Pool is a fixed set of long-lived workers for repeated barrier-style
+// sharded execution. The NoC cycle loop runs three sharded stages per
+// simulated cycle; spawning goroutines each time would dominate the work,
+// so a Pool keeps one goroutine per shard alive across cycles and Run acts
+// as a fork-join barrier. Workers are addressed by shard index, so a stage
+// function can keep per-shard scratch without locking.
+type Pool struct {
+	ch []chan func(shard int)
+	wg sync.WaitGroup // open workers, for Close
+}
+
+// NewPool starts `workers` pool goroutines (at least 1). Close must be
+// called to release them.
+func NewPool(workers int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	p := &Pool{ch: make([]chan func(int), workers)}
+	p.wg.Add(workers)
+	for i := range p.ch {
+		c := make(chan func(int))
+		p.ch[i] = c
+		go func(shard int) {
+			defer p.wg.Done()
+			for fn := range c {
+				fn(shard)
+			}
+		}(i)
+	}
+	return p
+}
+
+// Workers returns the pool's shard count.
+func (p *Pool) Workers() int { return len(p.ch) }
+
+// Run executes fn(shard) once per shard, each on its dedicated worker, and
+// returns when all shards complete (a full barrier). A panic in any shard
+// re-raises on the caller (lowest shard index wins) after the barrier.
+func (p *Pool) Run(fn func(shard int)) {
+	var (
+		wg sync.WaitGroup
+		pb panicBox
+	)
+	wg.Add(len(p.ch))
+	job := func(shard int) {
+		defer wg.Done()
+		defer func() {
+			if r := recover(); r != nil {
+				pb.record(shard, r)
+			}
+		}()
+		fn(shard)
+	}
+	for _, c := range p.ch {
+		c <- job
+	}
+	wg.Wait()
+	pb.rethrow()
+}
+
+// Close shuts the pool's workers down and waits for them to exit. Run must
+// not be called after Close.
+func (p *Pool) Close() {
+	for _, c := range p.ch {
+		close(c)
+	}
+	p.wg.Wait()
+}

@@ -13,6 +13,7 @@ import (
 	"mptwino/internal/comm"
 	"mptwino/internal/energy"
 	"mptwino/internal/ndp"
+	"mptwino/internal/parallel"
 )
 
 // SystemConfig enumerates Table IV.
@@ -74,6 +75,13 @@ type System struct {
 	NDP     ndp.Config // per-worker compute/DRAM model
 	Energy  energy.Params
 
+	// Parallel bounds the host goroutines the simulator's sweeps fan out
+	// to (layers of SimulateNetwork, the dynamic-clustering menu, and the
+	// (layer, config) cells of Sweep). 0 means parallel.DefaultWorkers();
+	// 1 forces the sequential path. Results are bit-identical for every
+	// value — all reductions fold in deterministic index order.
+	Parallel int
+
 	// Link budget per worker, one direction (Table III: four full-width
 	// links = 120 GB/s per direction). MPT splits it evenly between the
 	// collective rings and the tile-transfer FBFLY (Section VII-A).
@@ -117,6 +125,14 @@ func DefaultSystem() System {
 		TileCongestion: 1.5,
 		ChunkBytes:     256,
 	}
+}
+
+// workers returns the resolved host-goroutine bound for sweep fan-out.
+func (s System) workers() int {
+	if s.Parallel > 0 {
+		return s.Parallel
+	}
+	return parallel.DefaultWorkers()
 }
 
 // clusterMenu returns the (Ng, Nc) wirings dynamic clustering optimizes

@@ -1,0 +1,83 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"mptwino/internal/model"
+)
+
+// TestSimulateNetworkDeterministicAcrossWorkers asserts the parallel layer
+// fan-out produces byte-identical NetworkResults at every worker count —
+// the determinism contract of the host-side parallel engine. Results are
+// compared with reflect.DeepEqual over the full struct (floats included),
+// so any reordering of a floating-point reduction would fail.
+func TestSimulateNetworkDeterministicAcrossWorkers(t *testing.T) {
+	net := model.FractalNet44()
+	for _, c := range AllConfigs() {
+		var ref NetworkResult
+		for i, workers := range []int{1, 2, 8} {
+			s := DefaultSystem()
+			s.Parallel = workers
+			r := s.SimulateNetwork(net, c)
+			if i == 0 {
+				ref = r
+				continue
+			}
+			if !reflect.DeepEqual(ref, r) {
+				t.Errorf("config %s: workers=%d result differs from workers=1", c, workers)
+			}
+		}
+	}
+}
+
+// TestSweepMatchesSimulateNetwork asserts the flat (layer, config) cell
+// fan-out of Sweep is bit-identical to per-config SimulateNetwork calls,
+// across worker counts.
+func TestSweepMatchesSimulateNetwork(t *testing.T) {
+	net := model.ResNet34()
+	cfgs := AllConfigs()
+
+	seq := DefaultSystem()
+	seq.Parallel = 1
+	want := make([]NetworkResult, len(cfgs))
+	for i, c := range cfgs {
+		want[i] = seq.SimulateNetwork(net, c)
+	}
+
+	for _, workers := range []int{1, 2, 8} {
+		s := DefaultSystem()
+		s.Parallel = workers
+		got := s.Sweep(net, cfgs)
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: Sweep returned %d results, want %d", workers, len(got), len(want))
+		}
+		for i := range want {
+			if !reflect.DeepEqual(want[i], got[i]) {
+				t.Errorf("workers=%d: Sweep[%d] (%s) differs from SimulateNetwork", workers, i, cfgs[i])
+			}
+		}
+	}
+}
+
+// TestDynamicClusteringChoiceDeterministic asserts the parallel menu
+// evaluation picks the same (Ng, Nc) as the sequential tie-break rule for
+// every layer and worker count.
+func TestDynamicClusteringChoiceDeterministic(t *testing.T) {
+	for _, l := range model.FiveLayers() {
+		var refNg, refNc int
+		for i, workers := range []int{1, 2, 8} {
+			s := DefaultSystem()
+			s.Parallel = workers
+			r := s.SimulateLayer(l, 256, WMpDyn)
+			if i == 0 {
+				refNg, refNc = r.Ng, r.Nc
+				continue
+			}
+			if r.Ng != refNg || r.Nc != refNc {
+				t.Errorf("layer %s workers=%d chose (%d,%d), workers=1 chose (%d,%d)",
+					l.Name, workers, r.Ng, r.Nc, refNg, refNc)
+			}
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"mptwino/internal/energy"
 	"mptwino/internal/model"
 	"mptwino/internal/ndp"
+	"mptwino/internal/parallel"
 	"mptwino/internal/winograd"
 )
 
@@ -152,11 +153,17 @@ func meanTileHops(ng int) float64 {
 // change", with footnote 9 assuming optimal reorganization).
 func (s System) SimulateLayer(l model.Layer, batch int, c SystemConfig) LayerResult {
 	if c.usesDynamicClustering() {
-		var best LayerResult
-		for i, cfg := range s.clusterMenu() {
-			st, tr := comm.StrategyFor(cfg, l.P.K, c.usesPrediction(), s.Reductions)
-			r := s.simulateWithStrategy(l, batch, c, st, tr)
-			if i == 0 || r.TotalSec() < best.TotalSec() {
+		// Menu entries are independent; evaluate them concurrently and
+		// select sequentially, preserving the sequential tie-break (the
+		// earliest entry with the strictly smallest time wins).
+		menu := s.clusterMenu()
+		results := parallel.Map(s.workers(), len(menu), func(i int) LayerResult {
+			st, tr := comm.StrategyFor(menu[i], l.P.K, c.usesPrediction(), s.Reductions)
+			return s.simulateWithStrategy(l, batch, c, st, tr)
+		})
+		best := results[0]
+		for _, r := range results[1:] {
+			if r.TotalSec() < best.TotalSec() {
 				best = r
 			}
 		}

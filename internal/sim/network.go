@@ -3,6 +3,7 @@ package sim
 import (
 	"mptwino/internal/energy"
 	"mptwino/internal/model"
+	"mptwino/internal/parallel"
 )
 
 // NetworkResult aggregates a whole CNN's simulated training iteration
@@ -23,12 +24,23 @@ type NetworkResult struct {
 }
 
 // SimulateNetwork runs every layer of net under config c and sums the
-// iteration. Layer Repeat counts multiply both time and energy.
+// iteration. Layer Repeat counts multiply both time and energy. Layers are
+// independent, so they fan out across s.Parallel goroutines; the
+// aggregation folds in layer order, keeping the result bit-identical to a
+// sequential run.
 func (s System) SimulateNetwork(net model.Network, c SystemConfig) NetworkResult {
+	layers := parallel.Map(s.workers(), len(net.Layers), func(i int) LayerResult {
+		return s.SimulateLayer(net.Layers[i], net.Batch, c)
+	})
+	return s.assembleNetwork(net, c, layers)
+}
+
+// assembleNetwork folds per-layer results (indexed like net.Layers) into a
+// NetworkResult in deterministic layer order.
+func (s System) assembleNetwork(net model.Network, c SystemConfig, layers []LayerResult) NetworkResult {
 	res := NetworkResult{Network: net.Name, Config: c, Workers: s.Workers}
-	for _, l := range net.Layers {
-		lr := s.SimulateLayer(l, net.Batch, c)
-		rep := float64(l.EffectiveRepeat())
+	for i, lr := range layers {
+		rep := float64(net.Layers[i].EffectiveRepeat())
 		res.IterationSec += lr.TotalSec() * rep
 		res.Energy.Add(lr.Energy.Scale(rep))
 		res.Layers = append(res.Layers, lr)
@@ -38,6 +50,22 @@ func (s System) SimulateNetwork(net model.Network, c SystemConfig) NetworkResult
 		res.PowerW = res.Energy.Total() / res.IterationSec
 	}
 	return res
+}
+
+// Sweep simulates net under every config in cfgs, fanning one goroutine
+// out per (layer, config) cell — the full Table IV sweep as a single flat
+// work list. The returned slice is indexed like cfgs, and each entry is
+// bit-identical to SimulateNetwork(net, cfgs[i]).
+func (s System) Sweep(net model.Network, cfgs []SystemConfig) []NetworkResult {
+	nl := len(net.Layers)
+	cells := parallel.Map(s.workers(), len(cfgs)*nl, func(i int) LayerResult {
+		return s.SimulateLayer(net.Layers[i%nl], net.Batch, cfgs[i/nl])
+	})
+	out := make([]NetworkResult, len(cfgs))
+	for ci, c := range cfgs {
+		out[ci] = s.assembleNetwork(net, c, cells[ci*nl:(ci+1)*nl])
+	}
+	return out
 }
 
 // SingleWorkerBaseline simulates the 1-NDP system Fig. 17 normalizes to:

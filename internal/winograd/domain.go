@@ -3,6 +3,7 @@ package winograd
 import (
 	"fmt"
 
+	"mptwino/internal/parallel"
 	"mptwino/internal/tensor"
 )
 
@@ -47,8 +48,11 @@ func (tl *Tiling) TransformInput(x *tensor.Tensor) *Domain {
 	}
 	d := newDomain(tl, x.N, x.C)
 	t := tl.Tr.T
-	patch := tensor.NewMat(t, t)
-	for b := 0; b < x.N; b++ {
+	// Images are independent tile batches: fan them out. Each (b, c, tile)
+	// writes a distinct (row, c) slot of every element matrix, so the
+	// parallel result is bit-identical to the sequential loop.
+	parallel.ForEach(0, x.N, func(b int) {
+		patch := tensor.NewMat(t, t)
 		for c := 0; c < x.C; c++ {
 			for th := 0; th < tl.TilesH; th++ {
 				for tw := 0; tw < tl.TilesW; tw++ {
@@ -61,7 +65,7 @@ func (tl *Tiling) TransformInput(x *tensor.Tensor) *Domain {
 				}
 			}
 		}
-	}
+	})
 	return d
 }
 
@@ -75,8 +79,8 @@ func (tl *Tiling) TransformOutputGrad(dy *tensor.Tensor) *Domain {
 	}
 	d := newDomain(tl, dy.N, dy.C)
 	m := tl.Tr.M
-	patch := tensor.NewMat(m, m)
-	for b := 0; b < dy.N; b++ {
+	parallel.ForEach(0, dy.N, func(b int) {
+		patch := tensor.NewMat(m, m)
 		for c := 0; c < dy.C; c++ {
 			for th := 0; th < tl.TilesH; th++ {
 				for tw := 0; tw < tl.TilesW; tw++ {
@@ -89,7 +93,7 @@ func (tl *Tiling) TransformOutputGrad(dy *tensor.Tensor) *Domain {
 				}
 			}
 		}
-	}
+	})
 	return d
 }
 
@@ -99,8 +103,10 @@ func (tl *Tiling) TransformOutputGrad(dy *tensor.Tensor) *Domain {
 func (tl *Tiling) InverseOutput(d *Domain) *tensor.Tensor {
 	t := tl.Tr.T
 	y := tensor.New(d.B, d.C, tl.P.OutH(), tl.P.OutW())
-	tile := tensor.NewMat(t, t)
-	for b := 0; b < d.B; b++ {
+	// Output tiles never overlap and images own disjoint y regions, so the
+	// batch dimension shards freely with bit-identical results.
+	parallel.ForEach(0, d.B, func(b int) {
+		tile := tensor.NewMat(t, t)
 		for c := 0; c < d.C; c++ {
 			for th := 0; th < tl.TilesH; th++ {
 				for tw := 0; tw < tl.TilesW; tw++ {
@@ -113,7 +119,7 @@ func (tl *Tiling) InverseOutput(d *Domain) *tensor.Tensor {
 				}
 			}
 		}
-	}
+	})
 	return y
 }
 
@@ -123,8 +129,12 @@ func (tl *Tiling) InverseOutput(d *Domain) *tensor.Tensor {
 func (tl *Tiling) InverseInputGrad(d *Domain) *tensor.Tensor {
 	t := tl.Tr.T
 	dx := tensor.New(d.B, d.C, tl.P.H, tl.P.W)
-	tile := tensor.NewMat(t, t)
-	for b := 0; b < d.B; b++ {
+	// Overlapping tiles only accumulate within one (b, c) feature map;
+	// across images the dx regions are disjoint, and the per-image tile
+	// order is unchanged, so the accumulation order per dx slot — and with
+	// it the floating-point result — is identical to the sequential loop.
+	parallel.ForEach(0, d.B, func(b int) {
+		tile := tensor.NewMat(t, t)
 		for c := 0; c < d.C; c++ {
 			for th := 0; th < tl.TilesH; th++ {
 				for tw := 0; tw < tl.TilesW; tw++ {
@@ -137,7 +147,7 @@ func (tl *Tiling) InverseInputGrad(d *Domain) *tensor.Tensor {
 				}
 			}
 		}
-	}
+	})
 	return dx
 }
 
@@ -215,8 +225,9 @@ func TransformWeights(tr *Transform, w *tensor.Tensor) *Weights {
 		panic(fmt.Sprintf("winograd: weight shape %s does not match transform %s", w.ShapeString(), tr))
 	}
 	ww := NewWeights(tr, w.C, w.N)
-	f := tensor.NewMat(tr.R, tr.R)
-	for j := 0; j < w.N; j++ {
+	// Each (i, j) filter writes its own column slot in every element matrix.
+	parallel.ForEach(0, w.N, func(j int) {
+		f := tensor.NewMat(tr.R, tr.R)
 		for i := 0; i < w.C; i++ {
 			for kh := 0; kh < tr.R; kh++ {
 				for kw := 0; kw < tr.R; kw++ {
@@ -228,7 +239,7 @@ func TransformWeights(tr *Transform, w *tensor.Tensor) *Weights {
 				ww.El[e].Set(i, j, v)
 			}
 		}
-	}
+	})
 	return ww
 }
 
@@ -238,8 +249,8 @@ func TransformWeights(tr *Transform, w *tensor.Tensor) *Weights {
 func (w *Weights) ToSpatialGrad() *tensor.Tensor {
 	tr := w.Tr
 	out := tensor.New(w.Out, w.In, tr.R, tr.R)
-	tile := tensor.NewMat(tr.T, tr.T)
-	for j := 0; j < w.Out; j++ {
+	parallel.ForEach(0, w.Out, func(j int) {
+		tile := tensor.NewMat(tr.T, tr.T)
 		for i := 0; i < w.In; i++ {
 			for e := range w.El {
 				tile.Data[e] = w.El[e].At(i, j)
@@ -251,7 +262,7 @@ func (w *Weights) ToSpatialGrad() *tensor.Tensor {
 				}
 			}
 		}
-	}
+	})
 	return out
 }
 
@@ -285,18 +296,24 @@ func (w *Weights) Bytes() int64 {
 // elements.
 func MulForward(x *Domain, w *Weights, elements []int) *Domain {
 	y := newDomain(x.Tiling, x.B, w.Out)
-	for _, e := range elemRange(len(x.El), elements) {
+	// The T² element GEMMs are fully independent (the paper's Fig. 3(b)
+	// decomposition), so they are the natural parallel grain here.
+	elems := elemRange(len(x.El), elements)
+	parallel.ForEach(0, len(elems), func(i int) {
+		e := elems[i]
 		tensor.MatMulInto(y.El[e], x.El[e], w.El[e])
-	}
+	})
 	return y
 }
 
 // MulBackward computes dX = dY·Wᵀ per element: the bprop dot products.
 func MulBackward(dy *Domain, w *Weights, elements []int) *Domain {
 	dx := newDomain(dy.Tiling, dy.B, w.In)
-	for _, e := range elemRange(len(dy.El), elements) {
+	elems := elemRange(len(dy.El), elements)
+	parallel.ForEach(0, len(elems), func(i int) {
+		e := elems[i]
 		tensor.MatMulInto(dx.El[e], dy.El[e], w.El[e].T())
-	}
+	})
 	return dx
 }
 
@@ -304,9 +321,11 @@ func MulBackward(dy *Domain, w *Weights, elements []int) *Domain {
 // the Winograd domain (Fig. 2(b), update-W).
 func MulGrad(x, dy *Domain, elements []int) *Weights {
 	dw := NewWeights(x.Tiling.Tr, x.C, dy.C)
-	for _, e := range elemRange(len(x.El), elements) {
+	elems := elemRange(len(x.El), elements)
+	parallel.ForEach(0, len(elems), func(i int) {
+		e := elems[i]
 		tensor.MatMulInto(dw.El[e], x.El[e].T(), dy.El[e])
-	}
+	})
 	return dw
 }
 
