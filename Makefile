@@ -6,7 +6,7 @@
 GO ?= go
 STATICCHECK_VERSION ?= 2025.1
 
-.PHONY: verify build vet test race fuzz lint bench bench-baseline benchdiff
+.PHONY: verify build vet test race fuzz lint bench bench-baseline benchdiff profile
 
 verify: build vet test race
 
@@ -22,9 +22,11 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Short fuzz pass over the activation-predictor safety invariant.
+# Short fuzz passes over the numeric invariants: activation-predictor
+# safety and blocked-GEMM bit-identity with the naive reference.
 fuzz:
 	$(GO) test -fuzz=FuzzPredictorNeverUnderestimates -fuzztime=30s ./internal/quant/
+	$(GO) test -fuzz=FuzzBlockedGemmMatchesNaive -fuzztime=30s ./internal/tensor/
 
 # Pinned staticcheck, fetched on demand (requires network: runs in CI; on an
 # offline box this target is the only one that needs module downloads).
@@ -40,6 +42,17 @@ bench-baseline:
 	$(GO) run ./cmd/benchdiff -update
 
 # Snapshot the suite to bench/BENCH_<date>.json and gate the paper's model
-# metrics against the committed baseline (see EXPERIMENTS.md for the policy).
+# metrics plus the zero-alloc contracts against the committed baseline
+# (see EXPERIMENTS.md for the policy).
 benchdiff:
 	$(GO) run ./cmd/benchdiff
+
+# CPU + heap profiles. The first recipe profiles the timing simulator via
+# mptsim's -cpuprofile/-memprofile flags; the second profiles the numeric
+# hot paths (blocked GEMM + fused transforms) through the steady-state
+# layer benchmarks. Inspect with `go tool pprof <binary-or-blank> cpu.pprof`.
+profile:
+	$(GO) run ./cmd/mptsim -net wrn -config all -cpuprofile sim_cpu.pprof -memprofile sim_mem.pprof
+	$(GO) test -run '^$$' -bench 'Gemm|LayerFprop|LayerBprop|LayerUpdateGrad' -benchtime 2s \
+		-cpuprofile kernel_cpu.pprof -memprofile kernel_mem.pprof .
+	@echo "profiles: sim_cpu.pprof sim_mem.pprof kernel_cpu.pprof kernel_mem.pprof"

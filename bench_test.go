@@ -27,6 +27,7 @@ import (
 	"mptwino/internal/model"
 	"mptwino/internal/ndp"
 	"mptwino/internal/noc"
+	"mptwino/internal/parallel"
 	"mptwino/internal/quant"
 	"mptwino/internal/sim"
 	"mptwino/internal/tensor"
@@ -415,4 +416,165 @@ func BenchmarkCosimValidation(b *testing.B) {
 	}
 	b.ReportMetric(float64(cycles), "cycles")
 	b.ReportMetric(ratio, "vs_phase_model_x")
+}
+
+// --- blocked-GEMM and allocation-free steady-state benchmarks ---
+//
+// The GEMM shapes mirror the Fig. 7 per-element dot product: each of the
+// T² element matmuls is (B·tiles)×C · C×Out. At the Fig. 7 scale that is
+// M=4096, K=64, N=64 — squarely in the blocked kernel's regime. The
+// steady-state layer benchmarks gate the tentpole's allocation contract:
+// after warm-up, fprop/bprop/updateGrad must report 0 allocs/op
+// (cmd/benchdiff fails the run if a zero-alloc baseline regresses).
+
+const gemmBenchM, gemmBenchK, gemmBenchN = 4096, 64, 64
+
+func gemmBenchSetup() (dst, a, b2, bt *tensor.Mat) {
+	rng := tensor.NewRNG(3)
+	a = tensor.NewMat(gemmBenchM, gemmBenchK)
+	b2 = tensor.NewMat(gemmBenchK, gemmBenchN)
+	fill := func(m *tensor.Mat) {
+		for i := range m.Data {
+			m.Data[i] = float32(rng.NormFloat64())
+		}
+	}
+	fill(a)
+	fill(b2)
+	bt = b2.T()
+	return tensor.NewMat(gemmBenchM, gemmBenchN), a, b2, bt
+}
+
+func BenchmarkGemmNaive(b *testing.B) {
+	dst, a, bm, _ := gemmBenchSetup()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.MatMulNaiveInto(dst, a, bm)
+	}
+}
+
+func BenchmarkGemmBlocked(b *testing.B) {
+	dst, a, bm, _ := gemmBenchSetup()
+	var s tensor.GemmScratch
+	tensor.MatMulIntoScratch(dst, a, bm, &s) // size the packing buffers
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.MatMulIntoScratch(dst, a, bm, &s)
+	}
+}
+
+func BenchmarkGemmNT(b *testing.B) {
+	dst, a, _, bt := gemmBenchSetup()
+	var s tensor.GemmScratch
+	tensor.MatMulNTIntoScratch(dst, a, bt, &s)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.MatMulNTIntoScratch(dst, a, bt, &s)
+	}
+}
+
+func BenchmarkGemmTN(b *testing.B) {
+	// TN is the update-grad shape dW = Xᵀ·dY: both operands share the long
+	// K = B·tiles dimension (4096 here), producing a C×Out result.
+	_, x, _, _ := gemmBenchSetup()
+	rng := tensor.NewRNG(7)
+	dy := tensor.NewMat(gemmBenchM, gemmBenchN)
+	for i := range dy.Data {
+		dy.Data[i] = float32(rng.NormFloat64())
+	}
+	dst := tensor.NewMat(gemmBenchK, gemmBenchN)
+	var s tensor.GemmScratch
+	tensor.MatMulTNIntoScratch(dst, x, dy, &s)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.MatMulTNIntoScratch(dst, x, dy, &s)
+	}
+}
+
+// steadyLayerSetup builds a warm F(4,3) layer at the kernel benchmark
+// geometry with worker count pinned to 1 (the closure-free sequential
+// path the zero-alloc contract covers). Callers must restore workers.
+func steadyLayerSetup(b *testing.B) (l *winograd.Layer, x, y, dy, dx *tensor.Tensor, dw *winograd.Weights, restore func()) {
+	prev := parallel.SetDefaultWorkers(1)
+	restore = func() { parallel.SetDefaultWorkers(prev) }
+	p, xs, w := kernelSetup()
+	var err error
+	l, err = winograd.NewLayerWithWeights(winograd.F4x4_3x3, p, w)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x = xs
+	y = tensor.New(x.N, p.Out, p.OutH(), p.OutW())
+	dy = tensor.New(x.N, p.Out, p.OutH(), p.OutW())
+	rng := tensor.NewRNG(4)
+	rng.FillNormal(dy, 0, 1)
+	dx = tensor.New(x.N, p.In, p.H, p.W)
+	dw = winograd.NewWeights(winograd.F4x4_3x3, p.In, p.Out)
+	// Warm up so arenas, GEMM panels, and cached domains are sized.
+	l.FpropInto(y, x)
+	l.BpropInto(dx, dy)
+	l.UpdateGradWInto(dw, dy)
+	return l, x, y, dy, dx, dw, restore
+}
+
+func BenchmarkLayerFpropSteady(b *testing.B) {
+	l, x, y, _, _, _, restore := steadyLayerSetup(b)
+	defer restore()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.FpropInto(y, x)
+	}
+}
+
+func BenchmarkLayerBpropSteady(b *testing.B) {
+	l, _, _, dy, dx, _, restore := steadyLayerSetup(b)
+	defer restore()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.BpropInto(dx, dy)
+	}
+}
+
+func BenchmarkLayerUpdateGradSteady(b *testing.B) {
+	l, _, _, dy, _, dw, restore := steadyLayerSetup(b)
+	defer restore()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.UpdateGradWInto(dw, dy)
+	}
+}
+
+// BenchmarkTransformFused / BenchmarkTransformGeneric compare the compiled
+// sparse-schedule input transform against the generic allocation-free
+// fallback on the same F(4,3) tiles (a literal-constructed Transform has
+// no compiled schedules, so it exercises the fallback path).
+func BenchmarkTransformFused(b *testing.B) {
+	benchInputTransform(b, winograd.F4x4_3x3)
+}
+
+func BenchmarkTransformGeneric(b *testing.B) {
+	src := winograd.F4x4_3x3
+	benchInputTransform(b, &winograd.Transform{M: src.M, R: src.R, T: src.T,
+		G: src.G, BT: src.BT, AT: src.AT, B: src.B, A: src.A, GT: src.GT})
+}
+
+func benchInputTransform(b *testing.B, tr *winograd.Transform) {
+	rng := tensor.NewRNG(6)
+	x := tensor.NewMat(tr.T, tr.T)
+	for i := range x.Data {
+		x.Data[i] = float32(rng.NormFloat64())
+	}
+	dst := tensor.NewMat(tr.T, tr.T)
+	tmp := make([]float32, tr.TmpLen())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.InputToWinogradInto(dst, x, tmp)
+	}
 }

@@ -9,10 +9,14 @@
 //     deterministic simulator: they must match the baseline to within a tiny
 //     formatting tolerance (-mtol, default 1e-3 relative) on any machine.
 //     A drift here means the model changed, and the gate fails.
-//   - Wall-clock numbers (ns/op, B/op, allocs/op) are machine-dependent:
-//     they are recorded for trend tracking and printed in the diff, but only
-//     gate when -gate-times is set (CI does this on the fixed runner class,
+//   - Wall-clock numbers (ns/op, B/op) are machine-dependent: they are
+//     recorded for trend tracking and printed in the diff, but only gate
+//     when -gate-times is set (CI does this on the fixed runner class,
 //     with the generous -tol, default 4x, to ride out runner noise).
+//   - Zero-alloc contracts are machine-independent: any benchmark whose
+//     baseline records 0 allocs/op must still report 0, on any machine
+//     (-gate-allocs, on by default). The steady-state layer benchmarks
+//     rely on this to keep the hot paths allocation-free.
 //
 // Usage:
 //
@@ -62,15 +66,16 @@ type Snapshot struct {
 
 func main() {
 	var (
-		benchRe   = flag.String("bench", ".", "benchmark regex passed to go test -bench")
-		benchTime = flag.String("benchtime", "1x", "go test -benchtime value")
-		baseline  = flag.String("baseline", "bench/BENCH_baseline.json", "baseline snapshot to diff against")
-		outDir    = flag.String("outdir", "bench", "directory for the dated snapshot")
-		update    = flag.Bool("update", false, "rewrite the baseline from this run instead of diffing")
-		mtol      = flag.Float64("mtol", 1e-3, "relative tolerance for model metrics (machine-independent)")
-		tol       = flag.Float64("tol", 4.0, "allowed wall-time ratio vs baseline when -gate-times is set")
-		gateTimes = flag.Bool("gate-times", false, "fail on ns/op or allocs/op regressions beyond -tol")
-		serial    = flag.Bool("serial", false, "run a second pass with MPTWINO_WORKERS=1 and record parallel speedup")
+		benchRe    = flag.String("bench", ".", "benchmark regex passed to go test -bench")
+		benchTime  = flag.String("benchtime", "1x", "go test -benchtime value")
+		baseline   = flag.String("baseline", "bench/BENCH_baseline.json", "baseline snapshot to diff against")
+		outDir     = flag.String("outdir", "bench", "directory for the dated snapshot")
+		update     = flag.Bool("update", false, "rewrite the baseline from this run instead of diffing")
+		mtol       = flag.Float64("mtol", 1e-3, "relative tolerance for model metrics (machine-independent)")
+		tol        = flag.Float64("tol", 4.0, "allowed wall-time ratio vs baseline when -gate-times is set")
+		gateTimes  = flag.Bool("gate-times", false, "fail on ns/op or allocs/op regressions beyond -tol")
+		gateAllocs = flag.Bool("gate-allocs", true, "fail when a zero-allocs/op baseline benchmark allocates")
+		serial     = flag.Bool("serial", false, "run a second pass with MPTWINO_WORKERS=1 and record parallel speedup")
 	)
 	flag.Parse()
 
@@ -113,11 +118,11 @@ func main() {
 		}
 		fatal(err)
 	}
-	if failures := diff(base, snap, *mtol, *tol, *gateTimes); failures > 0 {
+	if failures := diff(base, snap, *mtol, *tol, *gateTimes, *gateAllocs); failures > 0 {
 		fmt.Printf("benchdiff: FAIL — %d regression(s) vs %s\n", failures, *baseline)
 		os.Exit(1)
 	}
-	fmt.Printf("benchdiff: OK — all model metrics within %.3g of %s\n", *mtol, *baseline)
+	fmt.Printf("benchdiff: OK — model metrics within %.3g and zero-alloc contracts hold vs %s\n", *mtol, *baseline)
 }
 
 func fatal(err error) {
@@ -201,7 +206,7 @@ func parseBenchLine(line string) (string, Bench, bool) {
 
 // diff compares snap against base and prints a report; the returned count is
 // the number of gating failures.
-func diff(base, snap *Snapshot, mtol, tol float64, gateTimes bool) int {
+func diff(base, snap *Snapshot, mtol, tol float64, gateTimes, gateAllocs bool) int {
 	names := make([]string, 0, len(base.Benchmarks))
 	for n := range base.Benchmarks {
 		names = append(names, n)
@@ -235,6 +240,14 @@ func diff(base, snap *Snapshot, mtol, tol float64, gateTimes bool) int {
 					n, k, want, got, 100*(got-want)/nonzero(want))
 				failures++
 			}
+		}
+		// Zero-alloc contract: machine-independent, gated strictly. A
+		// baseline of 0 allocs/op is a design guarantee (steady-state hot
+		// paths), not a measurement, so any alloc at all is a regression.
+		if gateAllocs && b.AllocsPerOp == 0 && s.AllocsPerOp > 0 {
+			fmt.Printf("  ALLOC   %-32s 0 allocs/op baseline now %.0f allocs/op (%.0f B/op)\n",
+				n, s.AllocsPerOp, s.BytesPerOp)
+			failures++
 		}
 		// Wall times: informational unless gating is requested.
 		if b.NsPerOp > 0 {

@@ -65,6 +65,18 @@ type Engine struct {
 
 	// per-cluster forward caches for updateGrad
 	lastX []*winograd.Domain
+
+	// sc holds the per-worker tile/packing scratch the Into kernels use;
+	// built lazily so engines constructed under one worker setting size
+	// their slots for it.
+	sc *winograd.Scratch
+}
+
+func (e *Engine) scratch() *winograd.Scratch {
+	if e.sc == nil {
+		e.sc = winograd.NewScratch()
+	}
+	return e.sc
 }
 
 // NewEngine builds an MPT engine. Ng must not exceed T².
@@ -188,20 +200,15 @@ func (e *Engine) countGather(d *winograd.Domain, skipped map[[2]int]bool) {
 }
 
 // fpropDomain runs the distributed forward dot products for one cluster
-// shard: every group computes its own elements; the union is the cluster's
-// output Domain. The per-group results are computed independently (through
-// MulForward's element selection) exactly as Ng separate workers would.
+// shard: every group computes its own elements directly into the cluster's
+// union output Domain (the element selection of MulForwardInto keeps each
+// group on its own disjoint element set, exactly as Ng separate workers
+// writing their own partitions would — no per-group staging copies).
 func (e *Engine) fpropDomain(xd *winograd.Domain) *winograd.Domain {
-	var yd *winograd.Domain
+	sc := e.scratch()
+	yd := winograd.NewDomain(e.tiling, xd.B, e.W.Out)
 	for g := 0; g < e.Cfg.Ng; g++ {
-		part := winograd.MulForward(xd, e.W, e.groupEls[g])
-		if yd == nil {
-			yd = part
-			continue
-		}
-		for _, el := range e.groupEls[g] {
-			copy(yd.El[el].Data, part.El[el].Data)
-		}
+		winograd.MulForwardInto(yd, xd, e.W, e.groupEls[g], sc)
 	}
 	return yd
 }
@@ -329,16 +336,9 @@ func (e *Engine) Bprop(dy *tensor.Tensor) (*tensor.Tensor, error) {
 		dys := shard(dy, b[0], b[1])
 		dyd := e.tiling.TransformOutputGrad(dys)
 		e.countScatter(dyd)
-		var dxd *winograd.Domain
+		dxd := winograd.NewDomain(e.tiling, dyd.B, e.W.In)
 		for g := 0; g < e.Cfg.Ng; g++ {
-			part := winograd.MulBackward(dyd, e.W, e.groupEls[g])
-			if dxd == nil {
-				dxd = part
-				continue
-			}
-			for _, el := range e.groupEls[g] {
-				copy(dxd.El[el].Data, part.El[el].Data)
-			}
+			winograd.MulBackwardInto(dxd, dyd, e.W, e.groupEls[g], e.scratch())
 		}
 		e.countGather(dxd, nil)
 		dxs := e.tiling.InverseInputGrad(dxd)
@@ -379,10 +379,7 @@ func (e *Engine) UpdateGrad(dy *tensor.Tensor) (*winograd.Weights, error) {
 		dyd := e.tiling.TransformOutputGrad(dys)
 		dw := winograd.NewWeights(e.Tr, e.P.In, e.P.Out)
 		for g := 0; g < e.Cfg.Ng; g++ {
-			part := winograd.MulGrad(e.lastX[c], dyd, e.groupEls[g])
-			for _, el := range e.groupEls[g] {
-				copy(dw.El[el].Data, part.El[el].Data)
-			}
+			winograd.MulGradInto(dw, e.lastX[c], dyd, e.groupEls[g], e.scratch())
 		}
 		partials[c] = dw
 	}

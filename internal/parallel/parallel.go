@@ -137,6 +137,52 @@ func ForEach(workers, n int, fn func(i int)) {
 	pb.rethrow()
 }
 
+// ForEachWorker is ForEach with the worker's pool index passed alongside
+// the item index, so callers can hand each goroutine its own scratch slot
+// (packing buffers, staging tiles) without allocation or locking. worker is
+// in [0, Workers(workers, n)); the single-worker path always passes 0. The
+// determinism contract is unchanged — worker identity may only steer
+// scratch reuse, never results.
+func ForEachWorker(workers, n int, fn func(worker, item int)) {
+	if n <= 0 {
+		return
+	}
+	w := Workers(workers, n)
+	if w == 1 {
+		for i := 0; i < n; i++ {
+			fn(0, i)
+		}
+		return
+	}
+	var (
+		next int64 = -1
+		wg   sync.WaitGroup
+		pb   panicBox
+	)
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= n {
+					return
+				}
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							pb.record(i, r)
+						}
+					}()
+					fn(worker, i)
+				}()
+			}
+		}(g)
+	}
+	wg.Wait()
+	pb.rethrow()
+}
+
 // ForEachErr runs fn(i) for every i in [0, n) on at most `workers`
 // goroutines with errgroup-style semantics: once any item errors, no new
 // items start, and after the pool drains the error of the lowest index

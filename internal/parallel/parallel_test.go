@@ -62,6 +62,41 @@ func TestForEachRunsEveryItemExactlyOnce(t *testing.T) {
 	}
 }
 
+func TestForEachWorkerRunsEveryItemWithValidWorker(t *testing.T) {
+	const workers = 5
+	counts := make([]int32, 300)
+	var badWorker atomic.Bool
+	ForEachWorker(workers, len(counts), func(w, i int) {
+		if w < 0 || w >= workers {
+			badWorker.Store(true)
+		}
+		atomic.AddInt32(&counts[i], 1)
+	})
+	if badWorker.Load() {
+		t.Fatal("worker index out of range")
+	}
+	for i, c := range counts {
+		if c != 1 {
+			t.Fatalf("item %d ran %d times", i, c)
+		}
+	}
+}
+
+func TestForEachWorkerSingleWorkerInline(t *testing.T) {
+	var order []int
+	ForEachWorker(1, 4, func(w, i int) {
+		if w != 0 {
+			t.Fatalf("single-worker path passed worker %d", w)
+		}
+		order = append(order, i)
+	})
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("single-worker path out of order: %v", order)
+		}
+	}
+}
+
 func TestForEachErrReturnsLowestIndexError(t *testing.T) {
 	// Every odd item fails; the lowest failing index (1) must win
 	// regardless of schedule.

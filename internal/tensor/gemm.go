@@ -1,0 +1,363 @@
+package tensor
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Cache-blocked, packed SGEMM with a register-tiled micro-kernel. This is
+// the per-worker compute kernel under the T² element matrix multiplications
+// of the Winograd domain (and the im2col path): the naive (i,k,j) loop in
+// MatMulInto is memory-bound on the B operand once the matrices outgrow L1,
+// which made our reproduction slow for a reason the paper's NDP analysis
+// does not model. Blocking is the standard communication-avoiding structure
+// (Chen/Demmel-style bounds for CNN lowering): A is packed into MR-row
+// panels and B into NR-column panels so the micro-kernel streams both with
+// unit stride.
+//
+// Determinism contract (DESIGN.md §7/§8): for every output element the
+// k-summation runs in strictly ascending k order regardless of the blocking
+// parameters — dst is zeroed once up front and the micro-kernel seeds its
+// accumulators from the stored partials at the start of each depth (KC)
+// block, so the float32 accumulation chain is the single ascending-k chain
+// of the reference loop. The SIMD kernel vectorizes across output columns
+// (each lane is one output element), never across k, so it computes the
+// same chain lane-wise. Results are therefore independent of MC/KC/NC/MR/NR
+// and of the worker count of any caller that shards whole GEMMs, and they
+// are bit-identical to MatMulNaiveInto for all finite inputs (the
+// reference's zero-operand skip only elides +0/-0 addends, which cannot
+// change an accumulator that starts at +0).
+const (
+	gemmMR = 4   // micro-kernel rows (A panel strip height)
+	gemmNR = 8   // micro-kernel cols (B panel strip width; 2 SSE vectors)
+	gemmMC = 128 // rows of A per packed panel; multiple of gemmMR
+	gemmKC = 256 // shared depth per packed panel
+	gemmNC = 512 // cols of B per packed panel; multiple of gemmNR
+
+	// gemmMinFlops is the problem size (2·M·N·K flops / 2) below which the
+	// packing overhead outweighs the blocking win and the naive loops are
+	// used instead. Tile-transform-sized operands (T ≤ 6) always fall below
+	// this; Winograd element GEMMs at realistic layer sizes are far above.
+	gemmMinFlops = 1 << 15
+)
+
+// GemmScratch holds the packing buffers of the blocked kernel. A zero value
+// is ready to use; buffers grow to the panel sizes on first use and are
+// reused afterwards, so steady-state calls do not allocate. A GemmScratch
+// must not be shared between concurrent GEMMs — parallel callers keep one
+// per worker (see winograd.Scratch).
+type GemmScratch struct {
+	ap []float32 // packed A panel: gemmMC × gemmKC, MR-row strips
+	bp []float32 // packed B panel: gemmKC × gemmNC, NR-col strips
+}
+
+func (s *GemmScratch) panels() (ap, bp []float32) {
+	if cap(s.ap) < gemmMC*gemmKC {
+		s.ap = make([]float32, gemmMC*gemmKC)
+	}
+	if cap(s.bp) < gemmKC*gemmNC {
+		s.bp = make([]float32, gemmKC*gemmNC)
+	}
+	return s.ap[:gemmMC*gemmKC], s.bp[:gemmKC*gemmNC]
+}
+
+// gemmPool backs the convenience entry points that do not thread their own
+// scratch; hot parallel paths pass an explicit per-worker GemmScratch.
+var gemmPool = sync.Pool{New: func() any { return new(GemmScratch) }}
+
+// MatMulNaiveInto computes dst = a×b with the reference (i,k,j) loop. It is
+// the semantics baseline the blocked kernel is verified against and the
+// small-operand fast path (tiny transform matrices fit in registers/L1
+// where packing only adds overhead).
+func MatMulNaiveInto(dst, a, b *Mat) {
+	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: matmul shape error dst %dx%d = %dx%d · %dx%d",
+			dst.Rows, dst.Cols, a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	for i := range dst.Data {
+		dst.Data[i] = 0
+	}
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
+		drow := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[k*b.Cols : (k+1)*b.Cols]
+			for j, bv := range brow {
+				drow[j] += av * bv
+			}
+		}
+	}
+}
+
+// MatMulNTNaiveInto computes dst = a×bᵀ with reference row-dot loops
+// (b is dst.Cols × a.Cols, consumed in place — no transpose materialized).
+func MatMulNTNaiveInto(dst, a, b *Mat) {
+	checkNT(dst, a, b)
+	k := a.Cols
+	for i := 0; i < dst.Rows; i++ {
+		arow := a.Data[i*k : (i+1)*k]
+		drow := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
+		for j := range drow {
+			brow := b.Data[j*k : (j+1)*k]
+			var acc float32
+			for p, av := range arow {
+				acc += av * brow[p]
+			}
+			drow[j] = acc
+		}
+	}
+}
+
+// MatMulTNNaiveInto computes dst = aᵀ×b with the reference k-outer loop
+// (a is a.Rows × dst.Rows = K × M, consumed in place). The k-outer order
+// keeps each output element's accumulation in ascending k.
+func MatMulTNNaiveInto(dst, a, b *Mat) {
+	checkTN(dst, a, b)
+	for i := range dst.Data {
+		dst.Data[i] = 0
+	}
+	m, n := dst.Rows, dst.Cols
+	for k := 0; k < a.Rows; k++ {
+		arow := a.Data[k*m : (k+1)*m]
+		brow := b.Data[k*n : (k+1)*n]
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			drow := dst.Data[i*n : (i+1)*n]
+			for j, bv := range brow {
+				drow[j] += av * bv
+			}
+		}
+	}
+}
+
+func checkNT(dst, a, b *Mat) {
+	if a.Cols != b.Cols || dst.Rows != a.Rows || dst.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: matmul-nt shape error dst %dx%d = %dx%d · (%dx%d)ᵀ",
+			dst.Rows, dst.Cols, a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+}
+
+func checkTN(dst, a, b *Mat) {
+	if a.Rows != b.Rows || dst.Rows != a.Cols || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: matmul-tn shape error dst %dx%d = (%dx%d)ᵀ · %dx%d",
+			dst.Rows, dst.Cols, a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+}
+
+// MatMulIntoScratch computes dst = a×b using the blocked kernel with the
+// caller's packing scratch (falling back to the naive loop for small
+// operands). Steady-state calls perform no allocations.
+func MatMulIntoScratch(dst, a, b *Mat, s *GemmScratch) {
+	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: matmul shape error dst %dx%d = %dx%d · %dx%d",
+			dst.Rows, dst.Cols, a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	if smallGemm(dst.Rows, dst.Cols, a.Cols) {
+		MatMulNaiveInto(dst, a, b)
+		return
+	}
+	gemmBlocked(dst, a.Data, a.Cols, b.Data, b.Cols, dst.Rows, dst.Cols, a.Cols, false, false, s)
+}
+
+// MatMulNTInto computes dst = a×bᵀ without materializing bᵀ: b is stored
+// row-major as dst.Cols × a.Cols. This is the bprop form dX = dY·Wᵀ.
+func MatMulNTInto(dst, a, b *Mat) {
+	s := gemmPool.Get().(*GemmScratch)
+	MatMulNTIntoScratch(dst, a, b, s)
+	gemmPool.Put(s)
+}
+
+// MatMulNTIntoScratch is MatMulNTInto with caller-owned packing scratch.
+func MatMulNTIntoScratch(dst, a, b *Mat, s *GemmScratch) {
+	checkNT(dst, a, b)
+	if smallGemm(dst.Rows, dst.Cols, a.Cols) {
+		MatMulNTNaiveInto(dst, a, b)
+		return
+	}
+	gemmBlocked(dst, a.Data, a.Cols, b.Data, b.Cols, dst.Rows, dst.Cols, a.Cols, false, true, s)
+}
+
+// MatMulTNInto computes dst = aᵀ×b without materializing aᵀ: a is stored
+// row-major as K × dst.Rows. This is the update-grad form dW = Xᵀ·dY.
+func MatMulTNInto(dst, a, b *Mat) {
+	s := gemmPool.Get().(*GemmScratch)
+	MatMulTNIntoScratch(dst, a, b, s)
+	gemmPool.Put(s)
+}
+
+// MatMulTNIntoScratch is MatMulTNInto with caller-owned packing scratch.
+func MatMulTNIntoScratch(dst, a, b *Mat, s *GemmScratch) {
+	checkTN(dst, a, b)
+	if smallGemm(dst.Rows, dst.Cols, a.Rows) {
+		MatMulTNNaiveInto(dst, a, b)
+		return
+	}
+	gemmBlocked(dst, a.Data, a.Cols, b.Data, b.Cols, dst.Rows, dst.Cols, a.Rows, true, false, s)
+}
+
+// MatMulNT returns a×bᵀ as a new matrix.
+func MatMulNT(a, b *Mat) *Mat {
+	out := NewMat(a.Rows, b.Rows)
+	MatMulNTInto(out, a, b)
+	return out
+}
+
+// MatMulTN returns aᵀ×b as a new matrix.
+func MatMulTN(a, b *Mat) *Mat {
+	out := NewMat(a.Cols, b.Cols)
+	MatMulTNInto(out, a, b)
+	return out
+}
+
+func smallGemm(m, n, k int) bool {
+	// Without the assembly micro-kernel the packed path has no throughput
+	// edge over the reference loops, so everything stays on them.
+	return !haveKernel4x8 || m < 2*gemmMR || n < 2*gemmNR || m*n*k < gemmMinFlops
+}
+
+// gemmBlocked is the blocked driver: dst(M×N) = opA(a)·opB(b) where aT/bT
+// select the transposed reading of the row-major storage. lda/ldb are the
+// storage row strides (a.Cols / b.Cols of the stored matrices).
+func gemmBlocked(dst *Mat, a []float32, lda int, b []float32, ldb int, m, n, k int, aT, bT bool, s *GemmScratch) {
+	ap, bp := s.panels()
+	ldd := dst.Cols
+	for i := range dst.Data {
+		dst.Data[i] = 0
+	}
+	for jc := 0; jc < n; jc += gemmNC {
+		nc := min(gemmNC, n-jc)
+		for pc := 0; pc < k; pc += gemmKC {
+			kc := min(gemmKC, k-pc)
+			packB(bp, b, ldb, pc, kc, jc, nc, bT)
+			for ic := 0; ic < m; ic += gemmMC {
+				mc := min(gemmMC, m-ic)
+				packA(ap, a, lda, ic, mc, pc, kc, aT)
+				for jr := 0; jr < nc; jr += gemmNR {
+					nr := min(gemmNR, nc-jr)
+					bs := bp[(jr/gemmNR)*kc*gemmNR:]
+					for ir := 0; ir < mc; ir += gemmMR {
+						mr := min(gemmMR, mc-ir)
+						as := ap[(ir/gemmMR)*kc*gemmMR:]
+						if haveKernel4x8 && mr == gemmMR && nr == gemmNR {
+							kernel4x8(&dst.Data[(ic+ir)*ldd+jc+jr], ldd, kc, &as[0], &bs[0])
+						} else {
+							microKernel(dst.Data, ldd, ic+ir, jc+jr, mr, nr, kc, as, bs)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// packA packs the mc×kc block of opA(a) at (ic, pc) into MR-row strips,
+// k-major within each strip: ap[strip][k][r]. Strips past the last valid
+// row are zero-padded so the micro-kernel needs no row-remainder variant
+// (padded rows are computed but never stored).
+func packA(ap, a []float32, lda, ic, mc, pc, kc int, aT bool) {
+	for ir := 0; ir < mc; ir += gemmMR {
+		strip := ap[(ir/gemmMR)*kc*gemmMR:]
+		rows := min(gemmMR, mc-ir)
+		if aT {
+			// opA(a)[i][k] = a[k][i]: walk k rows of storage.
+			for kk := 0; kk < kc; kk++ {
+				src := a[(pc+kk)*lda+ic+ir:]
+				d := strip[kk*gemmMR:]
+				for r := 0; r < rows; r++ {
+					d[r] = src[r]
+				}
+				for r := rows; r < gemmMR; r++ {
+					d[r] = 0
+				}
+			}
+		} else {
+			for kk := 0; kk < kc; kk++ {
+				d := strip[kk*gemmMR:]
+				for r := 0; r < rows; r++ {
+					d[r] = a[(ic+ir+r)*lda+pc+kk]
+				}
+				for r := rows; r < gemmMR; r++ {
+					d[r] = 0
+				}
+			}
+		}
+	}
+}
+
+// packB packs the kc×nc block of opB(b) at (pc, jc) into NR-column strips,
+// k-major within each strip: bp[strip][k][c], zero-padding partial strips.
+func packB(bp, b []float32, ldb, pc, kc, jc, nc int, bT bool) {
+	for jr := 0; jr < nc; jr += gemmNR {
+		strip := bp[(jr/gemmNR)*kc*gemmNR:]
+		cols := min(gemmNR, nc-jr)
+		if bT {
+			// opB(b)[k][j] = b[j][k]: each packed column is a storage row.
+			for kk := 0; kk < kc; kk++ {
+				d := strip[kk*gemmNR:]
+				for c := 0; c < cols; c++ {
+					d[c] = b[(jc+jr+c)*ldb+pc+kk]
+				}
+				for c := cols; c < gemmNR; c++ {
+					d[c] = 0
+				}
+			}
+		} else {
+			for kk := 0; kk < kc; kk++ {
+				src := b[(pc+kk)*ldb+jc+jr:]
+				d := strip[kk*gemmNR:]
+				for c := 0; c < cols; c++ {
+					d[c] = src[c]
+				}
+				for c := cols; c < gemmNR; c++ {
+					d[c] = 0
+				}
+			}
+		}
+	}
+}
+
+// microKernel computes the mr×nr block of dst at (i0, j0) over one packed
+// depth block, continuing the stored partial sums: the accumulators are
+// seeded from dst (zeroed once by gemmBlocked before the first depth block)
+// so each element's k-chain runs in ascending order across blocks — the
+// determinism contract. It is the portable fallback for edge tiles and for
+// architectures without the assembly kernel; the panel entries past mr/nr
+// are zero padding and are neither read into nor stored from the valid
+// region.
+func microKernel(dst []float32, ldd, i0, j0, mr, nr, kc int, as, bs []float32) {
+	var acc [gemmMR * gemmNR]float32
+	for r := 0; r < mr; r++ {
+		drow := dst[(i0+r)*ldd+j0:]
+		arow := acc[r*gemmNR:]
+		for c := 0; c < nr; c++ {
+			arow[c] = drow[c]
+		}
+	}
+	as = as[: kc*gemmMR : kc*gemmMR]
+	bs = bs[: kc*gemmNR : kc*gemmNR]
+	for len(as) >= gemmMR && len(bs) >= gemmNR {
+		ak := as[:gemmMR]
+		bk := bs[:gemmNR]
+		as = as[gemmMR:]
+		bs = bs[gemmNR:]
+		for r := 0; r < gemmMR; r++ {
+			av := ak[r]
+			arow := acc[r*gemmNR : r*gemmNR+gemmNR]
+			for c, bv := range bk {
+				arow[c] += av * bv
+			}
+		}
+	}
+	for r := 0; r < mr; r++ {
+		drow := dst[(i0+r)*ldd+j0:]
+		arow := acc[r*gemmNR:]
+		for c := 0; c < nr; c++ {
+			drow[c] = arow[c]
+		}
+	}
+}

@@ -1,0 +1,92 @@
+//go:build amd64 && !purego
+
+#include "textflag.h"
+
+// func kernel4x8(dst *float32, ldd, kc int, as, bs *float32)
+//
+// 4×8 SGEMM micro-kernel over one packed depth block. Accumulators are
+// seeded from dst and stored back, so successive depth blocks extend each
+// element's ascending-k accumulation chain (the determinism contract).
+// Vector lanes run across output columns only — lane c of X0/X1 is output
+// element (row 0, col c) — so every element sees the same scalar IEEE
+// mul/add sequence as the reference loop; MULPS/ADDPS round each lane
+// independently and SSE2 has no fused multiply-add.
+//
+// Register plan (16 XMM):
+//   X0..X7   accumulators: rows 0..3 × {cols 0-3, cols 4-7}
+//   X8, X9   current B row (8 columns)
+//   X10, X11 broadcast A element / product temporaries
+TEXT ·kernel4x8(SB), NOSPLIT, $0-40
+	MOVQ dst+0(FP), DI
+	MOVQ ldd+8(FP), SI
+	MOVQ kc+16(FP), DX
+	MOVQ as+24(FP), R8
+	MOVQ bs+32(FP), R9
+
+	SHLQ $2, SI              // row stride in bytes
+	LEAQ (DI)(SI*2), R10     // &dst[2·ldd]
+
+	// Seed accumulators from the stored partials.
+	MOVUPS (DI), X0
+	MOVUPS 16(DI), X1
+	MOVUPS (DI)(SI*1), X2
+	MOVUPS 16(DI)(SI*1), X3
+	MOVUPS (R10), X4
+	MOVUPS 16(R10), X5
+	MOVUPS (R10)(SI*1), X6
+	MOVUPS 16(R10)(SI*1), X7
+
+	TESTQ DX, DX
+	JZ    store
+
+loop:
+	MOVUPS (R9), X8          // b[k][0:4]
+	MOVUPS 16(R9), X9        // b[k][4:8]
+
+	MOVSS  (R8), X10         // a[k][0]
+	SHUFPS $0x00, X10, X10
+	MOVAPS X10, X11
+	MULPS  X8, X10
+	ADDPS  X10, X0
+	MULPS  X9, X11
+	ADDPS  X11, X1
+
+	MOVSS  4(R8), X10        // a[k][1]
+	SHUFPS $0x00, X10, X10
+	MOVAPS X10, X11
+	MULPS  X8, X10
+	ADDPS  X10, X2
+	MULPS  X9, X11
+	ADDPS  X11, X3
+
+	MOVSS  8(R8), X10        // a[k][2]
+	SHUFPS $0x00, X10, X10
+	MOVAPS X10, X11
+	MULPS  X8, X10
+	ADDPS  X10, X4
+	MULPS  X9, X11
+	ADDPS  X11, X5
+
+	MOVSS  12(R8), X10       // a[k][3]
+	SHUFPS $0x00, X10, X10
+	MOVAPS X10, X11
+	MULPS  X8, X10
+	ADDPS  X10, X6
+	MULPS  X9, X11
+	ADDPS  X11, X7
+
+	ADDQ $16, R8             // next packed A row (4 floats)
+	ADDQ $32, R9             // next packed B row (8 floats)
+	DECQ DX
+	JNZ  loop
+
+store:
+	MOVUPS X0, (DI)
+	MOVUPS X1, 16(DI)
+	MOVUPS X2, (DI)(SI*1)
+	MOVUPS X3, 16(DI)(SI*1)
+	MOVUPS X4, (R10)
+	MOVUPS X5, 16(R10)
+	MOVUPS X6, (R10)(SI*1)
+	MOVUPS X7, 16(R10)(SI*1)
+	RET

@@ -1,0 +1,19 @@
+//go:build amd64 && !purego
+
+package tensor
+
+// haveKernel4x8 selects the SSE2 assembly micro-kernel for full 4×8 tiles.
+// SSE2 is part of the amd64 baseline, so no runtime feature detection is
+// needed. Build with -tags purego to force the portable Go kernel
+// everywhere (the bit-identity tests compare the two).
+const haveKernel4x8 = true
+
+// kernel4x8 computes the full 4×8 tile at dst (row stride ldd float32
+// elements) over one packed depth block: it seeds its accumulators from
+// dst, then adds as[k·4+r]·bs[k·8+c] for k ascending, and stores the tile
+// back. Each SSE lane holds one output element, so the per-element float32
+// rounding chain is exactly the scalar ascending-k chain (see the
+// determinism contract at the top of gemm.go).
+//
+//go:noescape
+func kernel4x8(dst *float32, ldd, kc int, as, bs *float32)

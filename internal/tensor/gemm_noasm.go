@@ -1,0 +1,13 @@
+//go:build !amd64 || purego
+
+package tensor
+
+// haveKernel4x8 is false without the assembly micro-kernel; gemmBlocked
+// uses the portable microKernel for every tile.
+const haveKernel4x8 = false
+
+// kernel4x8 is never called when haveKernel4x8 is false; this stub only
+// satisfies the compiler.
+func kernel4x8(dst *float32, ldd, kc int, as, bs *float32) {
+	panic("tensor: kernel4x8 called without assembly support")
+}

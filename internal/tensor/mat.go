@@ -32,6 +32,13 @@ func (m *Mat) At(r, c int) float32 { return m.Data[r*m.Cols+c] }
 // Set stores v at element (r,c).
 func (m *Mat) Set(r, c int, v float32) { m.Data[r*m.Cols+c] = v }
 
+// Zero clears all elements.
+func (m *Mat) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
 // Clone returns a deep copy.
 func (m *Mat) Clone() *Mat {
 	out := NewMat(m.Rows, m.Cols)
@@ -39,15 +46,34 @@ func (m *Mat) Clone() *Mat {
 	return out
 }
 
-// T returns the transpose as a new matrix.
+// CloneInto copies m into dst, which must have the same shape.
+func (m *Mat) CloneInto(dst *Mat) {
+	if dst.Rows != m.Rows || dst.Cols != m.Cols {
+		panic(fmt.Sprintf("tensor: CloneInto shape mismatch %dx%d into %dx%d", m.Rows, m.Cols, dst.Rows, dst.Cols))
+	}
+	copy(dst.Data, m.Data)
+}
+
+// T returns the transpose as a new matrix. Hot paths that would otherwise
+// call this per step should prefer the transposed-operand GEMM variants
+// (MatMulNTInto / MatMulTNInto) or TInto with reused storage.
 func (m *Mat) T() *Mat {
 	out := NewMat(m.Cols, m.Rows)
+	m.TInto(out)
+	return out
+}
+
+// TInto writes the transpose of m into dst (shape m.Cols × m.Rows).
+func (m *Mat) TInto(dst *Mat) {
+	if dst.Rows != m.Cols || dst.Cols != m.Rows {
+		panic(fmt.Sprintf("tensor: TInto shape mismatch %dx%d into %dx%d", m.Rows, m.Cols, dst.Rows, dst.Cols))
+	}
 	for r := 0; r < m.Rows; r++ {
-		for c := 0; c < m.Cols; c++ {
-			out.Set(c, r, m.At(r, c))
+		row := m.Data[r*m.Cols : (r+1)*m.Cols]
+		for c, v := range row {
+			dst.Data[c*dst.Cols+r] = v
 		}
 	}
-	return out
 }
 
 // MatMul returns a×b. It panics on inner-dimension mismatch.
@@ -61,29 +87,23 @@ func MatMul(a, b *Mat) *Mat {
 }
 
 // MatMulInto computes dst = a×b, reusing dst's storage. dst must have shape
-// a.Rows × b.Cols. The inner loop is ordered (i,k,j) for sequential access
-// to b and dst rows.
+// a.Rows × b.Cols. Small operands use the reference (i,k,j) loop; larger
+// ones dispatch to the cache-blocked packed kernel in gemm.go, which is
+// bit-identical to the reference for all finite inputs (see the contract
+// note there). Callers inside parallel loops should prefer
+// MatMulIntoScratch with per-worker scratch to stay allocation-free.
 func MatMulInto(dst, a, b *Mat) {
 	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
 		panic(fmt.Sprintf("tensor: matmul shape error dst %dx%d = %dx%d · %dx%d",
 			dst.Rows, dst.Cols, a.Rows, a.Cols, b.Rows, b.Cols))
 	}
-	for i := range dst.Data {
-		dst.Data[i] = 0
+	if smallGemm(dst.Rows, dst.Cols, a.Cols) {
+		MatMulNaiveInto(dst, a, b)
+		return
 	}
-	for i := 0; i < a.Rows; i++ {
-		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
-		drow := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
-		for k, av := range arow {
-			if av == 0 {
-				continue
-			}
-			brow := b.Data[k*b.Cols : (k+1)*b.Cols]
-			for j, bv := range brow {
-				drow[j] += av * bv
-			}
-		}
-	}
+	s := gemmPool.Get().(*GemmScratch)
+	gemmBlocked(dst, a.Data, a.Cols, b.Data, b.Cols, dst.Rows, dst.Cols, a.Cols, false, false, s)
+	gemmPool.Put(s)
 }
 
 // MatMulAccInto computes dst += a×b without zeroing dst first.

@@ -75,6 +75,7 @@ func (tl *tiling1D) transformInput(x *tensor.Tensor) *domain1D {
 	d := newDomain1D(tl, x.N, x.C)
 	t := tl.tr.T
 	seg := make([]float32, t)
+	lifted := make([]float32, t)
 	for b := 0; b < x.N; b++ {
 		for c := 0; c < x.C; c++ {
 			for ti := 0; ti < tl.tiles; ti++ {
@@ -87,7 +88,7 @@ func (tl *tiling1D) transformInput(x *tensor.Tensor) *domain1D {
 						seg[i] = 0
 					}
 				}
-				lifted := tl.tr.Transform1DInput(seg)
+				tl.tr.Transform1DInputInto(lifted, seg)
 				row := b*tl.tiles + ti
 				for e, v := range lifted {
 					d.el[e].Set(row, c, v)
@@ -114,12 +115,13 @@ func transformWeights1D(tr *Transform, w *tensor.Tensor) *weights1D {
 		ww.el[e] = tensor.NewMat(w.C, w.N)
 	}
 	filt := make([]float32, tr.R)
+	lifted := make([]float32, tr.T)
 	for j := 0; j < w.N; j++ {
 		for i := 0; i < w.C; i++ {
 			for k := 0; k < tr.R; k++ {
 				filt[k] = w.At(j, i, 0, k)
 			}
-			lifted := matVec(tr.G, filt)
+			matVecInto(lifted, tr.G, filt)
 			for e, v := range lifted {
 				ww.el[e].Set(i, j, v)
 			}
@@ -143,6 +145,7 @@ func Fprop1D(tr *Transform, p Params1D, x, w *tensor.Tensor) *tensor.Tensor {
 		yEl[e] = tensor.MatMul(xd.el[e], wd.el[e])
 	}
 	tile := make([]float32, tr.T)
+	out := make([]float32, tr.M)
 	for b := 0; b < x.N; b++ {
 		for j := 0; j < p.Out; j++ {
 			for ti := 0; ti < tl.tiles; ti++ {
@@ -150,7 +153,7 @@ func Fprop1D(tr *Transform, p Params1D, x, w *tensor.Tensor) *tensor.Tensor {
 				for e := range tile {
 					tile[e] = yEl[e].At(row, j)
 				}
-				out := tr.Inverse1DOutput(tile)
+				tr.Inverse1DOutputInto(out, tile)
 				for m, v := range out {
 					pos := ti*tr.M + m
 					if pos < p.OutL() {

@@ -36,6 +36,12 @@ type Transform struct {
 	B  *tensor.Mat // T×T, transpose of BT (cached)
 	A  *tensor.Mat // T×M, transpose of AT (cached)
 	GT *tensor.Mat // R×T, transpose of G (cached)
+
+	// fused holds the compiled sparse add/sub schedules of the transform
+	// matrices (nil for tile sizes past fusedMaxT, or for Transforms built
+	// outside MakeTransform; the Into methods then use the generic
+	// allocation-free fallback — see fused.go).
+	fused *fusedOps
 }
 
 // String identifies the transform in the paper's F(m×m, r×r) notation.
@@ -161,6 +167,9 @@ func MakeTransform(m, r int) (*Transform, error) {
 	tr.B = tr.BT.T()
 	tr.A = tr.AT.T()
 	tr.GT = tr.G.T()
+	if t <= fusedMaxT {
+		tr.fused = compileFused(tr)
+	}
 	return tr, nil
 }
 

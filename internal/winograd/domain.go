@@ -23,8 +23,9 @@ type Domain struct {
 // Rows returns B·tiles, the row count of each element matrix.
 func (d *Domain) Rows() int { return d.B * d.Tiling.Tiles() }
 
-// newDomain allocates an all-zero Domain for the given tiling.
-func newDomain(tl *Tiling, b, c int) *Domain {
+// NewDomain allocates an all-zero Domain for the given tiling — the
+// reusable destination of the Into transform/multiply entry points below.
+func NewDomain(tl *Tiling, b, c int) *Domain {
 	t2 := tl.Tr.T * tl.Tr.T
 	d := &Domain{Tiling: tl, B: b, C: c, El: make([]*tensor.Mat, t2)}
 	rows := b * tl.Tiles()
@@ -34,6 +35,8 @@ func newDomain(tl *Tiling, b, c int) *Domain {
 	return d
 }
 
+func newDomain(tl *Tiling, b, c int) *Domain { return NewDomain(tl, b, c) }
+
 // row returns the element-matrix row index of (image b, tile th, tw).
 func (d *Domain) row(b, th, tw int) int {
 	return (b*d.Tiling.TilesH+th)*d.Tiling.TilesW + tw
@@ -42,113 +45,195 @@ func (d *Domain) row(b, th, tw int) int {
 // TransformInput lifts a spatial input tensor x (B,C,H,W matching the
 // tiling's layer geometry) into the Winograd domain: X = Bᵀ·x·B per tile.
 func (tl *Tiling) TransformInput(x *tensor.Tensor) *Domain {
+	d := newDomain(tl, x.N, x.C)
+	tl.TransformInputInto(d, x, NewScratch())
+	return d
+}
+
+// TransformInputInto is TransformInput writing into a caller-owned Domain
+// with caller-owned scratch; steady-state calls do not allocate.
+func (tl *Tiling) TransformInputInto(d *Domain, x *tensor.Tensor, sc *Scratch) {
 	if x.C != tl.P.In || x.H != tl.P.H || x.W != tl.P.W {
 		panic(fmt.Sprintf("winograd: input shape %s does not match layer I=%d %dx%d",
 			x.ShapeString(), tl.P.In, tl.P.H, tl.P.W))
 	}
-	d := newDomain(tl, x.N, x.C)
-	t := tl.Tr.T
 	// Images are independent tile batches: fan them out. Each (b, c, tile)
 	// writes a distinct (row, c) slot of every element matrix, so the
 	// parallel result is bit-identical to the sequential loop.
-	parallel.ForEach(0, x.N, func(b int) {
-		patch := tensor.NewMat(t, t)
-		for c := 0; c < x.C; c++ {
-			for th := 0; th < tl.TilesH; th++ {
-				for tw := 0; tw < tl.TilesW; tw++ {
-					tl.ExtractInputTile(patch, x, b, c, th, tw)
-					w := tl.Tr.InputToWinograd(patch)
-					row := d.row(b, th, tw)
-					for e, v := range w.Data {
-						d.El[e].Set(row, c, v)
-					}
+	if sc.Workers() == 1 {
+		for b := 0; b < x.N; b++ {
+			tl.transformInputItem(d, x, sc.slot(0), b)
+		}
+		return
+	}
+	parallel.ForEachWorker(sc.Workers(), x.N, func(w, b int) {
+		tl.transformInputItem(d, x, sc.slot(w), b)
+	})
+}
+
+func (tl *Tiling) transformInputItem(d *Domain, x *tensor.Tensor, sl *scratchSlot, b int) {
+	t := tl.Tr.T
+	a := &sl.arena
+	a.Reset()
+	patch := a.Mat(t, t)
+	w := a.Mat(t, t)
+	tmp := a.Floats(tl.Tr.TmpLen())
+	for c := 0; c < x.C; c++ {
+		for th := 0; th < tl.TilesH; th++ {
+			for tw := 0; tw < tl.TilesW; tw++ {
+				tl.ExtractInputTile(patch, x, b, c, th, tw)
+				tl.Tr.InputToWinogradInto(w, patch, tmp)
+				row := d.row(b, th, tw)
+				for e, v := range w.Data {
+					d.El[e].Set(row, c, v)
 				}
 			}
 		}
-	})
-	return d
+	}
 }
 
 // TransformOutputGrad lifts a spatial output-gradient tensor dy into the
 // Winograd domain via the adjoint of the inverse output transform:
 // dY = A·dy·Aᵀ per tile.
 func (tl *Tiling) TransformOutputGrad(dy *tensor.Tensor) *Domain {
+	d := newDomain(tl, dy.N, dy.C)
+	tl.TransformOutputGradInto(d, dy, NewScratch())
+	return d
+}
+
+// TransformOutputGradInto is TransformOutputGrad into a caller-owned
+// Domain with caller-owned scratch.
+func (tl *Tiling) TransformOutputGradInto(d *Domain, dy *tensor.Tensor, sc *Scratch) {
 	if dy.H != tl.P.OutH() || dy.W != tl.P.OutW() {
 		panic(fmt.Sprintf("winograd: dy shape %s does not match output %dx%d",
 			dy.ShapeString(), tl.P.OutH(), tl.P.OutW()))
 	}
-	d := newDomain(tl, dy.N, dy.C)
+	if sc.Workers() == 1 {
+		for b := 0; b < dy.N; b++ {
+			tl.transformOutputGradItem(d, dy, sc.slot(0), b)
+		}
+		return
+	}
+	parallel.ForEachWorker(sc.Workers(), dy.N, func(w, b int) {
+		tl.transformOutputGradItem(d, dy, sc.slot(w), b)
+	})
+}
+
+func (tl *Tiling) transformOutputGradItem(d *Domain, dy *tensor.Tensor, sl *scratchSlot, b int) {
 	m := tl.Tr.M
-	parallel.ForEach(0, dy.N, func(b int) {
-		patch := tensor.NewMat(m, m)
-		for c := 0; c < dy.C; c++ {
-			for th := 0; th < tl.TilesH; th++ {
-				for tw := 0; tw < tl.TilesW; tw++ {
-					tl.ExtractOutputTile(patch, dy, b, c, th, tw)
-					w := tl.Tr.OutputToWinograd(patch)
-					row := d.row(b, th, tw)
-					for e, v := range w.Data {
-						d.El[e].Set(row, c, v)
-					}
+	a := &sl.arena
+	a.Reset()
+	patch := a.Mat(m, m)
+	w := a.Mat(tl.Tr.T, tl.Tr.T)
+	tmp := a.Floats(tl.Tr.TmpLen())
+	for c := 0; c < dy.C; c++ {
+		for th := 0; th < tl.TilesH; th++ {
+			for tw := 0; tw < tl.TilesW; tw++ {
+				tl.ExtractOutputTile(patch, dy, b, c, th, tw)
+				tl.Tr.OutputToWinogradInto(w, patch, tmp)
+				row := d.row(b, th, tw)
+				for e, v := range w.Data {
+					d.El[e].Set(row, c, v)
 				}
 			}
 		}
-	})
-	return d
+	}
 }
 
 // InverseOutput gathers a Winograd-domain output y-Domain into the spatial
 // output tensor: y = Aᵀ·Y·A per tile. This is the tile-gathering step whose
 // communication MPT must pay for (Section III-C).
 func (tl *Tiling) InverseOutput(d *Domain) *tensor.Tensor {
-	t := tl.Tr.T
 	y := tensor.New(d.B, d.C, tl.P.OutH(), tl.P.OutW())
+	tl.InverseOutputInto(y, d, NewScratch())
+	return y
+}
+
+// InverseOutputInto is InverseOutput into a caller-owned output tensor
+// with caller-owned scratch.
+func (tl *Tiling) InverseOutputInto(y *tensor.Tensor, d *Domain, sc *Scratch) {
 	// Output tiles never overlap and images own disjoint y regions, so the
 	// batch dimension shards freely with bit-identical results.
-	parallel.ForEach(0, d.B, func(b int) {
-		tile := tensor.NewMat(t, t)
-		for c := 0; c < d.C; c++ {
-			for th := 0; th < tl.TilesH; th++ {
-				for tw := 0; tw < tl.TilesW; tw++ {
-					row := d.row(b, th, tw)
-					for e := range d.El {
-						tile.Data[e] = d.El[e].At(row, c)
-					}
-					out := tl.Tr.OutputFromWinograd(tile)
-					tl.ScatterOutputTile(y, out, b, c, th, tw)
+	if sc.Workers() == 1 {
+		for b := 0; b < d.B; b++ {
+			tl.inverseOutputItem(y, d, sc.slot(0), b)
+		}
+		return
+	}
+	parallel.ForEachWorker(sc.Workers(), d.B, func(w, b int) {
+		tl.inverseOutputItem(y, d, sc.slot(w), b)
+	})
+}
+
+func (tl *Tiling) inverseOutputItem(y *tensor.Tensor, d *Domain, sl *scratchSlot, b int) {
+	t := tl.Tr.T
+	a := &sl.arena
+	a.Reset()
+	tile := a.Mat(t, t)
+	out := a.Mat(tl.Tr.M, tl.Tr.M)
+	tmp := a.Floats(tl.Tr.TmpLen())
+	for c := 0; c < d.C; c++ {
+		for th := 0; th < tl.TilesH; th++ {
+			for tw := 0; tw < tl.TilesW; tw++ {
+				row := d.row(b, th, tw)
+				for e := range d.El {
+					tile.Data[e] = d.El[e].At(row, c)
 				}
+				tl.Tr.OutputFromWinogradInto(out, tile, tmp)
+				tl.ScatterOutputTile(y, out, b, c, th, tw)
 			}
 		}
-	})
-	return y
+	}
 }
 
 // InverseInputGrad maps a Winograd-domain input-gradient Domain back to the
 // spatial domain via the adjoint of the input transform, accumulating
 // overlapping tile contributions: dx += B·dX·Bᵀ.
 func (tl *Tiling) InverseInputGrad(d *Domain) *tensor.Tensor {
-	t := tl.Tr.T
 	dx := tensor.New(d.B, d.C, tl.P.H, tl.P.W)
+	tl.InverseInputGradInto(dx, d, NewScratch())
+	return dx
+}
+
+// InverseInputGradInto is InverseInputGrad into a caller-owned (zeroed)
+// gradient tensor with caller-owned scratch. dx is cleared first, so the
+// Into form has the same semantics as the allocating wrapper.
+func (tl *Tiling) InverseInputGradInto(dx *tensor.Tensor, d *Domain, sc *Scratch) {
+	dx.Zero()
 	// Overlapping tiles only accumulate within one (b, c) feature map;
 	// across images the dx regions are disjoint, and the per-image tile
 	// order is unchanged, so the accumulation order per dx slot — and with
 	// it the floating-point result — is identical to the sequential loop.
-	parallel.ForEach(0, d.B, func(b int) {
-		tile := tensor.NewMat(t, t)
-		for c := 0; c < d.C; c++ {
-			for th := 0; th < tl.TilesH; th++ {
-				for tw := 0; tw < tl.TilesW; tw++ {
-					row := d.row(b, th, tw)
-					for e := range d.El {
-						tile.Data[e] = d.El[e].At(row, c)
-					}
-					out := tl.Tr.InputFromWinograd(tile)
-					tl.ScatterAddInputTile(dx, out, b, c, th, tw)
+	if sc.Workers() == 1 {
+		for b := 0; b < d.B; b++ {
+			tl.inverseInputGradItem(dx, d, sc.slot(0), b)
+		}
+		return
+	}
+	parallel.ForEachWorker(sc.Workers(), d.B, func(w, b int) {
+		tl.inverseInputGradItem(dx, d, sc.slot(w), b)
+	})
+}
+
+func (tl *Tiling) inverseInputGradItem(dx *tensor.Tensor, d *Domain, sl *scratchSlot, b int) {
+	t := tl.Tr.T
+	a := &sl.arena
+	a.Reset()
+	tile := a.Mat(t, t)
+	out := a.Mat(t, t)
+	tmp := a.Floats(tl.Tr.TmpLen())
+	for c := 0; c < d.C; c++ {
+		for th := 0; th < tl.TilesH; th++ {
+			for tw := 0; tw < tl.TilesW; tw++ {
+				row := d.row(b, th, tw)
+				for e := range d.El {
+					tile.Data[e] = d.El[e].At(row, c)
 				}
+				tl.Tr.InputFromWinogradInto(out, tile, tmp)
+				tl.ScatterAddInputTile(dx, out, b, c, th, tw)
 			}
 		}
-	})
-	return dx
+	}
 }
 
 // Scale multiplies every element of the Domain by alpha in place and
@@ -221,49 +306,89 @@ func NewWeights(tr *Transform, in, out int) *Weights {
 // TransformWeights lifts spatial weights (Out,In,r,r) into the Winograd
 // domain: W = G·w·Gᵀ per (i,j) filter.
 func TransformWeights(tr *Transform, w *tensor.Tensor) *Weights {
+	ww := NewWeights(tr, w.C, w.N)
+	TransformWeightsInto(ww, tr, w, NewScratch())
+	return ww
+}
+
+// TransformWeightsInto is TransformWeights into caller-owned Weights with
+// caller-owned scratch.
+func TransformWeightsInto(ww *Weights, tr *Transform, w *tensor.Tensor, sc *Scratch) {
 	if w.H != tr.R || w.W != tr.R {
 		panic(fmt.Sprintf("winograd: weight shape %s does not match transform %s", w.ShapeString(), tr))
 	}
-	ww := NewWeights(tr, w.C, w.N)
 	// Each (i, j) filter writes its own column slot in every element matrix.
-	parallel.ForEach(0, w.N, func(j int) {
-		f := tensor.NewMat(tr.R, tr.R)
-		for i := 0; i < w.C; i++ {
-			for kh := 0; kh < tr.R; kh++ {
-				for kw := 0; kw < tr.R; kw++ {
-					f.Set(kh, kw, w.At(j, i, kh, kw))
-				}
-			}
-			wd := tr.FilterToWinograd(f)
-			for e, v := range wd.Data {
-				ww.El[e].Set(i, j, v)
+	if sc.Workers() == 1 {
+		for j := 0; j < w.N; j++ {
+			transformWeightsItem(ww, tr, w, sc.slot(0), j)
+		}
+		return
+	}
+	parallel.ForEachWorker(sc.Workers(), w.N, func(wk, j int) {
+		transformWeightsItem(ww, tr, w, sc.slot(wk), j)
+	})
+}
+
+func transformWeightsItem(ww *Weights, tr *Transform, w *tensor.Tensor, sl *scratchSlot, j int) {
+	a := &sl.arena
+	a.Reset()
+	f := a.Mat(tr.R, tr.R)
+	wd := a.Mat(tr.T, tr.T)
+	tmp := a.Floats(tr.TmpLen())
+	for i := 0; i < w.C; i++ {
+		for kh := 0; kh < tr.R; kh++ {
+			for kw := 0; kw < tr.R; kw++ {
+				f.Set(kh, kw, w.At(j, i, kh, kw))
 			}
 		}
-	})
-	return ww
+		tr.FilterToWinogradInto(wd, f, tmp)
+		for e, v := range wd.Data {
+			ww.El[e].Set(i, j, v)
+		}
+	}
 }
 
 // ToSpatialGrad maps Winograd-domain weight gradients back to spatial
 // weight gradients: dw = Gᵀ·dW·G per filter. Used by the Fig. 2(a) mode
 // where spatial weights are the trained parameters.
 func (w *Weights) ToSpatialGrad() *tensor.Tensor {
+	out := tensor.New(w.Out, w.In, w.Tr.R, w.Tr.R)
+	w.ToSpatialGradInto(out, NewScratch())
+	return out
+}
+
+// ToSpatialGradInto is ToSpatialGrad into a caller-owned tensor with
+// caller-owned scratch.
+func (w *Weights) ToSpatialGradInto(out *tensor.Tensor, sc *Scratch) {
+	if sc.Workers() == 1 {
+		for j := 0; j < w.Out; j++ {
+			w.toSpatialGradItem(out, sc.slot(0), j)
+		}
+		return
+	}
+	parallel.ForEachWorker(sc.Workers(), w.Out, func(wk, j int) {
+		w.toSpatialGradItem(out, sc.slot(wk), j)
+	})
+}
+
+func (w *Weights) toSpatialGradItem(out *tensor.Tensor, sl *scratchSlot, j int) {
 	tr := w.Tr
-	out := tensor.New(w.Out, w.In, tr.R, tr.R)
-	parallel.ForEach(0, w.Out, func(j int) {
-		tile := tensor.NewMat(tr.T, tr.T)
-		for i := 0; i < w.In; i++ {
-			for e := range w.El {
-				tile.Data[e] = w.El[e].At(i, j)
-			}
-			g := tr.FilterFromWinograd(tile)
-			for kh := 0; kh < tr.R; kh++ {
-				for kw := 0; kw < tr.R; kw++ {
-					out.Set(j, i, kh, kw, g.At(kh, kw))
-				}
+	a := &sl.arena
+	a.Reset()
+	tile := a.Mat(tr.T, tr.T)
+	g := a.Mat(tr.R, tr.R)
+	tmp := a.Floats(tr.TmpLen())
+	for i := 0; i < w.In; i++ {
+		for e := range w.El {
+			tile.Data[e] = w.El[e].At(i, j)
+		}
+		tr.FilterFromWinogradInto(g, tile, tmp)
+		for kh := 0; kh < tr.R; kh++ {
+			for kw := 0; kw < tr.R; kw++ {
+				out.Set(j, i, kh, kw, g.At(kh, kw))
 			}
 		}
-	})
-	return out
+	}
 }
 
 // Clone returns a deep copy of the weights.
@@ -298,47 +423,108 @@ func MulForward(x *Domain, w *Weights, elements []int) *Domain {
 	y := newDomain(x.Tiling, x.B, w.Out)
 	// The T² element GEMMs are fully independent (the paper's Fig. 3(b)
 	// decomposition), so they are the natural parallel grain here.
-	elems := elemRange(len(x.El), elements)
-	parallel.ForEach(0, len(elems), func(i int) {
-		e := elems[i]
+	n := elemCount(len(x.El), elements)
+	parallel.ForEach(0, n, func(i int) {
+		e := elemAt(elements, i)
 		tensor.MatMulInto(y.El[e], x.El[e], w.El[e])
 	})
 	return y
 }
 
+// MulForwardInto is MulForward writing the selected elements of a
+// caller-owned Domain, with per-worker GEMM packing scratch.
+func MulForwardInto(y, x *Domain, w *Weights, elements []int, sc *Scratch) {
+	n := elemCount(len(x.El), elements)
+	if sc.Workers() == 1 {
+		sl := sc.slot(0)
+		for i := 0; i < n; i++ {
+			e := elemAt(elements, i)
+			tensor.MatMulIntoScratch(y.El[e], x.El[e], w.El[e], &sl.gemm)
+		}
+		return
+	}
+	parallel.ForEachWorker(sc.Workers(), n, func(wk, i int) {
+		e := elemAt(elements, i)
+		tensor.MatMulIntoScratch(y.El[e], x.El[e], w.El[e], &sc.slot(wk).gemm)
+	})
+}
+
 // MulBackward computes dX = dY·Wᵀ per element: the bprop dot products.
+// The transposed-operand GEMM consumes W in place — no Wᵀ is ever
+// materialized.
 func MulBackward(dy *Domain, w *Weights, elements []int) *Domain {
 	dx := newDomain(dy.Tiling, dy.B, w.In)
-	elems := elemRange(len(dy.El), elements)
-	parallel.ForEach(0, len(elems), func(i int) {
-		e := elems[i]
-		tensor.MatMulInto(dx.El[e], dy.El[e], w.El[e].T())
+	n := elemCount(len(dy.El), elements)
+	parallel.ForEach(0, n, func(i int) {
+		e := elemAt(elements, i)
+		tensor.MatMulNTInto(dx.El[e], dy.El[e], w.El[e])
 	})
 	return dx
 }
 
+// MulBackwardInto is MulBackward into a caller-owned Domain with
+// per-worker GEMM packing scratch.
+func MulBackwardInto(dx, dy *Domain, w *Weights, elements []int, sc *Scratch) {
+	n := elemCount(len(dy.El), elements)
+	if sc.Workers() == 1 {
+		sl := sc.slot(0)
+		for i := 0; i < n; i++ {
+			e := elemAt(elements, i)
+			tensor.MatMulNTIntoScratch(dx.El[e], dy.El[e], w.El[e], &sl.gemm)
+		}
+		return
+	}
+	parallel.ForEachWorker(sc.Workers(), n, func(wk, i int) {
+		e := elemAt(elements, i)
+		tensor.MatMulNTIntoScratch(dx.El[e], dy.El[e], w.El[e], &sc.slot(wk).gemm)
+	})
+}
+
 // MulGrad computes dW = Xᵀ·dY per element: the updateGrad dot products in
-// the Winograd domain (Fig. 2(b), update-W).
+// the Winograd domain (Fig. 2(b), update-W). The transposed-operand GEMM
+// consumes X in place — no Xᵀ is ever materialized.
 func MulGrad(x, dy *Domain, elements []int) *Weights {
 	dw := NewWeights(x.Tiling.Tr, x.C, dy.C)
-	elems := elemRange(len(x.El), elements)
-	parallel.ForEach(0, len(elems), func(i int) {
-		e := elems[i]
-		tensor.MatMulInto(dw.El[e], x.El[e].T(), dy.El[e])
+	n := elemCount(len(x.El), elements)
+	parallel.ForEach(0, n, func(i int) {
+		e := elemAt(elements, i)
+		tensor.MatMulTNInto(dw.El[e], x.El[e], dy.El[e])
 	})
 	return dw
 }
 
-// elemRange expands a nil element selection to all T² indices.
-func elemRange(t2 int, elements []int) []int {
-	if elements != nil {
-		return elements
+// MulGradInto is MulGrad into caller-owned Weights with per-worker GEMM
+// packing scratch.
+func MulGradInto(dw *Weights, x, dy *Domain, elements []int, sc *Scratch) {
+	n := elemCount(len(x.El), elements)
+	if sc.Workers() == 1 {
+		sl := sc.slot(0)
+		for i := 0; i < n; i++ {
+			e := elemAt(elements, i)
+			tensor.MatMulTNIntoScratch(dw.El[e], x.El[e], dy.El[e], &sl.gemm)
+		}
+		return
 	}
-	all := make([]int, t2)
-	for i := range all {
-		all[i] = i
+	parallel.ForEachWorker(sc.Workers(), n, func(wk, i int) {
+		e := elemAt(elements, i)
+		tensor.MatMulTNIntoScratch(dw.El[e], x.El[e], dy.El[e], &sc.slot(wk).gemm)
+	})
+}
+
+// elemAt resolves the i-th selected element index (nil selection = all).
+func elemAt(elements []int, i int) int {
+	if elements == nil {
+		return i
 	}
-	return all
+	return elements[i]
+}
+
+// elemCount returns the number of selected elements (nil selection = t2).
+func elemCount(t2 int, elements []int) int {
+	if elements == nil {
+		return t2
+	}
+	return len(elements)
 }
 
 // GroupElements returns the tile-element indices owned by group g out of ng

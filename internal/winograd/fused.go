@@ -1,0 +1,250 @@
+package winograd
+
+import (
+	"fmt"
+
+	"mptwino/internal/tensor"
+)
+
+// Fused sandwich transforms. The Cook–Toom matrices B, G, A are sparse with
+// small fixed coefficients (0, ±1, ±½, … — e.g. every F(2,3) entry is one
+// of 0, ±1, ±½), so each transform L·x·R is compiled once, at MakeTransform
+// time, into a sparse per-row/per-column term schedule. The executor
+// classifies each coefficient: c = 1 becomes a fused add, c = −1 a fused
+// subtract, anything else a multiply-add — the add/sub codepaths generated
+// from the exact structure of the matrices, without the dense inner
+// products (or the two temporary matrices) of tensor.Sandwich.
+//
+// Bit-compatibility with tensor.Sandwich (verified in fused_test.go): the
+// schedule enumerates exactly the nonzero coefficients of L (resp. R) in
+// ascending k, which is precisely the set and order of addends the naive
+// MatMul reference accumulates for stage 1 (its zero-skip tests the left
+// operand, i.e. the coefficients). Stage 2's reference skips data zeros
+// instead; the sets differ only in ±0 addends, which cannot change an
+// accumulator chain that starts at +0 (x + (±0) = x, and +0 + (±0) = +0
+// under round-to-nearest). 1·v and (−1)·v are exact, and x − v is
+// bit-equal to x + (−v), so the classified codepaths round identically to
+// the reference's c·v multiply-adds.
+//
+// Transforms with T beyond fusedMaxT (far past every size the paper uses)
+// skip compilation and take the allocation-free generic sandwichInto path,
+// which replicates the reference loops directly.
+
+// fusedMaxT bounds the tile sizes that get compiled schedules.
+const fusedMaxT = 8
+
+// term is one addend of a sparse dot product: coefficient c applied to the
+// operand at index k. Terms are stored in ascending k.
+type term struct {
+	k int32
+	c float32
+}
+
+// sched is the compiled sparse structure of a transform matrix: rows[i]
+// lists the nonzero (k, c) of row i.
+type sched struct {
+	rows [][]term
+	cols int
+}
+
+func compileSched(m *tensor.Mat) *sched {
+	s := &sched{rows: make([][]term, m.Rows), cols: m.Cols}
+	for i := 0; i < m.Rows; i++ {
+		for k := 0; k < m.Cols; k++ {
+			if c := m.At(i, k); c != 0 {
+				s.rows[i] = append(s.rows[i], term{k: int32(k), c: c})
+			}
+		}
+	}
+	return s
+}
+
+// fusedOps holds the compiled schedules of the six transform matrices. The
+// stage-2 (right-multiply) schedule of a matrix R is the row schedule of
+// Rᵀ, which is always one of these six.
+type fusedOps struct {
+	g, gt, b, bt, a, at *sched
+}
+
+func compileFused(tr *Transform) *fusedOps {
+	return &fusedOps{
+		g:  compileSched(tr.G),
+		gt: compileSched(tr.GT),
+		b:  compileSched(tr.B),
+		bt: compileSched(tr.BT),
+		a:  compileSched(tr.A),
+		at: compileSched(tr.AT),
+	}
+}
+
+// applyRow accumulates the classified terms of one schedule row into drow:
+// drow += c·x[k] for each term, with the c = ±1 fast paths.
+func applyRow(drow []float32, terms []term, x []float32, xc int) {
+	for _, t := range terms {
+		xrow := x[int(t.k)*xc : int(t.k)*xc+len(drow)]
+		switch t.c {
+		case 1:
+			for j, v := range xrow {
+				drow[j] += v
+			}
+		case -1:
+			for j, v := range xrow {
+				drow[j] -= v
+			}
+		default:
+			c := t.c
+			for j, v := range xrow {
+				drow[j] += c * v
+			}
+		}
+	}
+}
+
+// fusedSandwichInto computes dst = L·x·R where ls is the schedule of L and
+// rts the schedule of Rᵀ. tmp must hold at least len(ls.rows)·x.Cols
+// floats; it carries the stage-1 product L·x.
+func fusedSandwichInto(dst *tensor.Mat, ls, rts *sched, x *tensor.Mat, tmp []float32) {
+	lr, xc := len(ls.rows), x.Cols
+	if x.Rows != ls.cols || dst.Rows != lr || dst.Cols != len(rts.rows) || rts.cols != xc {
+		panic(fmt.Sprintf("winograd: fused sandwich shape error dst %dx%d, L %dx%d, x %dx%d, Rᵀ %dx%d",
+			dst.Rows, dst.Cols, lr, ls.cols, x.Rows, x.Cols, len(rts.rows), rts.cols))
+	}
+	t1 := tmp[: lr*xc : lr*xc]
+	for i := range t1 {
+		t1[i] = 0
+	}
+	for i, terms := range ls.rows {
+		applyRow(t1[i*xc:i*xc+xc], terms, x.Data, xc)
+	}
+	for i := 0; i < lr; i++ {
+		row := t1[i*xc : i*xc+xc]
+		drow := dst.Data[i*dst.Cols : i*dst.Cols+dst.Cols]
+		for j, terms := range rts.rows {
+			var acc float32
+			for _, t := range terms {
+				// c·v is exact for c = ±1, so the single multiply-add path
+				// rounds identically to dedicated add/sub branches while
+				// keeping the inner loop branch-free.
+				acc += t.c * row[t.k]
+			}
+			drow[j] = acc
+		}
+	}
+}
+
+// sandwichInto is the generic allocation-free fallback: dst = l·x·r with
+// the exact reference semantics of tensor.Sandwich (two naive multiplies,
+// zero-skip on the left operand), staging l·x in tmp.
+func sandwichInto(dst *tensor.Mat, l, x, r *tensor.Mat, tmp []float32) {
+	if l.Cols != x.Rows || x.Cols != r.Rows || dst.Rows != l.Rows || dst.Cols != r.Cols {
+		panic(fmt.Sprintf("winograd: sandwich shape error dst %dx%d = %dx%d · %dx%d · %dx%d",
+			dst.Rows, dst.Cols, l.Rows, l.Cols, x.Rows, x.Cols, r.Rows, r.Cols))
+	}
+	lr, xc := l.Rows, x.Cols
+	t1 := tmp[: lr*xc : lr*xc]
+	for i := range t1 {
+		t1[i] = 0
+	}
+	for i := 0; i < lr; i++ {
+		lrow := l.Data[i*l.Cols : (i+1)*l.Cols]
+		drow := t1[i*xc : i*xc+xc]
+		for k, lv := range lrow {
+			if lv == 0 {
+				continue
+			}
+			xrow := x.Data[k*xc : k*xc+xc]
+			for j, xv := range xrow {
+				drow[j] += lv * xv
+			}
+		}
+	}
+	for i := range dst.Data {
+		dst.Data[i] = 0
+	}
+	for i := 0; i < lr; i++ {
+		trow := t1[i*xc : i*xc+xc]
+		drow := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
+		for k, tv := range trow {
+			if tv == 0 {
+				continue
+			}
+			rrow := r.Data[k*r.Cols : (k+1)*r.Cols]
+			for j, rv := range rrow {
+				drow[j] += tv * rv
+			}
+		}
+	}
+}
+
+// TmpLen returns the scratch length the Into transform methods need.
+func (tr *Transform) TmpLen() int { return tr.T * tr.T }
+
+// sandwich dispatches one transform step. Every transform here has the
+// form S·x·Sᵀ, so a single schedule s (of S) drives both stages of the
+// fused path; l/x/r feed the generic fallback when s is nil.
+func (tr *Transform) sandwich(dst *tensor.Mat, s *sched, l, x, r *tensor.Mat, tmp []float32) {
+	if s != nil {
+		fusedSandwichInto(dst, s, s, x, tmp)
+		return
+	}
+	sandwichInto(dst, l, x, r, tmp)
+}
+
+// FilterToWinogradInto computes dst = G·w·Gᵀ (shape T×T) without
+// allocating; tmp needs TmpLen() floats.
+func (tr *Transform) FilterToWinogradInto(dst, w *tensor.Mat, tmp []float32) {
+	var s *sched
+	if tr.fused != nil {
+		s = tr.fused.g
+	}
+	tr.sandwich(dst, s, tr.G, w, tr.GT, tmp)
+}
+
+// InputToWinogradInto computes dst = Bᵀ·x·B (shape T×T) without allocating.
+func (tr *Transform) InputToWinogradInto(dst, x *tensor.Mat, tmp []float32) {
+	var s *sched
+	if tr.fused != nil {
+		s = tr.fused.bt
+	}
+	tr.sandwich(dst, s, tr.BT, x, tr.B, tmp)
+}
+
+// OutputFromWinogradInto computes dst = Aᵀ·y·A (shape M×M) without
+// allocating.
+func (tr *Transform) OutputFromWinogradInto(dst, y *tensor.Mat, tmp []float32) {
+	var s *sched
+	if tr.fused != nil {
+		s = tr.fused.at
+	}
+	tr.sandwich(dst, s, tr.AT, y, tr.A, tmp)
+}
+
+// OutputToWinogradInto computes dst = A·dy·Aᵀ (shape T×T) without
+// allocating.
+func (tr *Transform) OutputToWinogradInto(dst, dy *tensor.Mat, tmp []float32) {
+	var s *sched
+	if tr.fused != nil {
+		s = tr.fused.a
+	}
+	tr.sandwich(dst, s, tr.A, dy, tr.AT, tmp)
+}
+
+// InputFromWinogradInto computes dst = B·dX·Bᵀ (shape T×T) without
+// allocating.
+func (tr *Transform) InputFromWinogradInto(dst, dx *tensor.Mat, tmp []float32) {
+	var s *sched
+	if tr.fused != nil {
+		s = tr.fused.b
+	}
+	tr.sandwich(dst, s, tr.B, dx, tr.BT, tmp)
+}
+
+// FilterFromWinogradInto computes dst = Gᵀ·dW·G (shape R×R) without
+// allocating.
+func (tr *Transform) FilterFromWinogradInto(dst, dw *tensor.Mat, tmp []float32) {
+	var s *sched
+	if tr.fused != nil {
+		s = tr.fused.gt
+	}
+	tr.sandwich(dst, s, tr.GT, dw, tr.G, tmp)
+}

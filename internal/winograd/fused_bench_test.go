@@ -1,0 +1,31 @@
+package winograd
+
+import (
+	"testing"
+
+	"mptwino/internal/tensor"
+)
+
+func benchSandwich(b *testing.B, fused bool) {
+	tr := F4x4_3x3
+	rng := tensor.NewRNG(6)
+	x := tensor.NewMat(tr.T, tr.T)
+	for i := range x.Data {
+		x.Data[i] = float32(rng.NormFloat64())
+	}
+	dst := tensor.NewMat(tr.T, tr.T)
+	tmp := make([]float32, tr.TmpLen())
+	b.ResetTimer()
+	if fused {
+		for i := 0; i < b.N; i++ {
+			fusedSandwichInto(dst, tr.fused.bt, tr.fused.bt, x, tmp)
+		}
+	} else {
+		for i := 0; i < b.N; i++ {
+			sandwichInto(dst, tr.BT, x, tr.B, tmp)
+		}
+	}
+}
+
+func BenchmarkSandwichFused(b *testing.B)   { benchSandwich(b, true) }
+func BenchmarkSandwichGeneric(b *testing.B) { benchSandwich(b, false) }

@@ -56,6 +56,32 @@ type Layer struct {
 	// cached forward-pass Winograd-domain input, needed by UpdateGradW;
 	// mirrors the NDP design where X tiles stay resident in local DRAM.
 	lastX *Domain
+
+	// Steady-state scratch, built lazily and reused across iterations so
+	// fprop/bprop/updateGrad run without allocation after the first step:
+	// per-worker tile/packing buffers plus the four intermediate Domains
+	// of the training loop (resized if the batch size changes).
+	sc  *Scratch
+	xd  *Domain // input transform destination (aliased by lastX)
+	yd  *Domain // forward Winograd-domain output
+	dyd *Domain // output-gradient transform destination
+	dxd *Domain // backward Winograd-domain input gradient
+}
+
+func (l *Layer) scratch() *Scratch {
+	if l.sc == nil {
+		l.sc = NewScratch()
+	}
+	return l.sc
+}
+
+// ensureDomain returns *slot if it already has shape (b, c), otherwise
+// replaces it with a fresh Domain of that shape.
+func (l *Layer) ensureDomain(slot **Domain, b, c int) *Domain {
+	if *slot == nil || (*slot).B != b || (*slot).C != c {
+		*slot = NewDomain(l.Tiling, b, c)
+	}
+	return *slot
 }
 
 // NewLayer builds a Winograd layer for geometry p, initializing W from a
@@ -84,27 +110,59 @@ func NewLayerWithWeights(tr *Transform, p conv.Params, w *tensor.Tensor) (*Layer
 // Fprop runs the forward pass and caches the Winograd-domain input for the
 // later UpdateGradW call of the same iteration.
 func (l *Layer) Fprop(x *tensor.Tensor) *tensor.Tensor {
-	xd := l.Tiling.TransformInput(x)
+	y := tensor.New(x.N, l.W.Out, l.Tiling.P.OutH(), l.Tiling.P.OutW())
+	l.FpropInto(y, x)
+	return y
+}
+
+// FpropInto is Fprop writing into a caller-owned output tensor; after the
+// first call at a given batch size, no allocations occur.
+func (l *Layer) FpropInto(y, x *tensor.Tensor) {
+	sc := l.scratch()
+	xd := l.ensureDomain(&l.xd, x.N, x.C)
+	l.Tiling.TransformInputInto(xd, x, sc)
 	l.lastX = xd
-	yd := MulForward(xd, l.W, nil)
-	return l.Tiling.InverseOutput(yd)
+	yd := l.ensureDomain(&l.yd, x.N, l.W.Out)
+	MulForwardInto(yd, xd, l.W, nil, sc)
+	l.Tiling.InverseOutputInto(y, yd, sc)
 }
 
 // Bprop returns dx for the given dy using the current W.
 func (l *Layer) Bprop(dy *tensor.Tensor) *tensor.Tensor {
-	dyd := l.Tiling.TransformOutputGrad(dy)
-	dxd := MulBackward(dyd, l.W, nil)
-	return l.Tiling.InverseInputGrad(dxd)
+	dx := tensor.New(dy.N, l.W.In, l.Tiling.P.H, l.Tiling.P.W)
+	l.BpropInto(dx, dy)
+	return dx
+}
+
+// BpropInto is Bprop writing into a caller-owned gradient tensor
+// (overwritten); allocation-free at steady state.
+func (l *Layer) BpropInto(dx, dy *tensor.Tensor) {
+	sc := l.scratch()
+	dyd := l.ensureDomain(&l.dyd, dy.N, dy.C)
+	l.Tiling.TransformOutputGradInto(dyd, dy, sc)
+	dxd := l.ensureDomain(&l.dxd, dy.N, l.W.In)
+	MulBackwardInto(dxd, dyd, l.W, nil, sc)
+	l.Tiling.InverseInputGradInto(dx, dxd, sc)
 }
 
 // UpdateGradW returns the Winograd-domain weight gradient dW for dy, using
 // the input cached by the last Fprop. It panics if Fprop has not run.
 func (l *Layer) UpdateGradW(dy *tensor.Tensor) *Weights {
+	dw := NewWeights(l.Tiling.Tr, l.W.In, l.W.Out)
+	l.UpdateGradWInto(dw, dy)
+	return dw
+}
+
+// UpdateGradWInto is UpdateGradW into caller-owned Weights;
+// allocation-free at steady state.
+func (l *Layer) UpdateGradWInto(dw *Weights, dy *tensor.Tensor) {
 	if l.lastX == nil {
 		panic("winograd: UpdateGradW before Fprop")
 	}
-	dyd := l.Tiling.TransformOutputGrad(dy)
-	return MulGrad(l.lastX, dyd, nil)
+	sc := l.scratch()
+	dyd := l.ensureDomain(&l.dyd, dy.N, dy.C)
+	l.Tiling.TransformOutputGradInto(dyd, dy, sc)
+	MulGradInto(dw, l.lastX, dyd, nil, sc)
 }
 
 // Step applies the SGD update W -= lr·dW directly in the Winograd domain.
@@ -117,15 +175,23 @@ func (l *Layer) Step(lr float32, dw *Weights) {
 // join (Fig. 14) averages these domains across FractalNet columns so only
 // the joined result pays the inverse transform and tile gathering.
 func (l *Layer) FpropDomain(x *tensor.Tensor) *Domain {
-	xd := l.Tiling.TransformInput(x)
+	sc := l.scratch()
+	xd := l.ensureDomain(&l.xd, x.N, x.C)
+	l.Tiling.TransformInputInto(xd, x, sc)
 	l.lastX = xd
-	return MulForward(xd, l.W, nil)
+	// The returned Domain is caller-retained (FractalNet columns hold it
+	// across the joined step), so it is always freshly allocated.
+	yd := NewDomain(l.Tiling, x.N, l.W.Out)
+	MulForwardInto(yd, xd, l.W, nil, sc)
+	return yd
 }
 
 // BpropDomain returns dx for a Winograd-domain output gradient dY (e.g.
 // the split gradient of a modified join).
 func (l *Layer) BpropDomain(dyd *Domain) *tensor.Tensor {
-	dxd := MulBackward(dyd, l.W, nil)
+	sc := l.scratch()
+	dxd := l.ensureDomain(&l.dxd, dyd.B, l.W.In)
+	MulBackwardInto(dxd, dyd, l.W, nil, sc)
 	return l.Tiling.InverseInputGrad(dxd)
 }
 

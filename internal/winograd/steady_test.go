@@ -1,0 +1,158 @@
+package winograd
+
+import (
+	"testing"
+
+	"mptwino/internal/conv"
+	"mptwino/internal/parallel"
+	"mptwino/internal/tensor"
+)
+
+func buildSteadyLayer(t testing.TB, p conv.Params) (*Layer, *tensor.Tensor, *tensor.Tensor) {
+	t.Helper()
+	sw := tensor.New(p.Out, p.In, p.K, p.K)
+	r := tensor.NewRNG(77)
+	r.FillHe(sw, p.In*p.K*p.K)
+	l, err := NewLayerWithWeights(F2x2_3x3, p, sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.New(2, p.In, p.H, p.W)
+	r.FillNormal(x, 0, 1)
+	dy := tensor.New(2, p.Out, p.OutH(), p.OutW())
+	r.FillNormal(dy, 0, 1)
+	return l, x, dy
+}
+
+// TestLayerIntoBitIdenticalAcrossWorkers runs the steady-state training
+// step (FpropInto / BpropInto / UpdateGradWInto) under worker counts
+// {1, 2, 8} — each with a freshly built Layer so the Scratch slot count
+// follows the setting — and requires bitwise-identical outputs. Blocking
+// fixes each element's accumulation order, so results must not depend on
+// how the work is sharded.
+func TestLayerIntoBitIdenticalAcrossWorkers(t *testing.T) {
+	p := conv.Params{In: 3, Out: 4, K: 3, Pad: 1, H: 10, W: 8}
+
+	type snapshot struct {
+		y, dx *tensor.Tensor
+		dw    *Weights
+	}
+	run := func(workers int) snapshot {
+		prev := parallel.SetDefaultWorkers(workers)
+		defer parallel.SetDefaultWorkers(prev)
+		l, x, dy := buildSteadyLayer(t, p)
+		var s snapshot
+		s.y = tensor.New(x.N, p.Out, p.OutH(), p.OutW())
+		s.dx = tensor.New(x.N, p.In, p.H, p.W)
+		s.dw = NewWeights(F2x2_3x3, p.In, p.Out)
+		// Two iterations so the second runs on reused scratch/domains.
+		for it := 0; it < 2; it++ {
+			l.FpropInto(s.y, x)
+			l.BpropInto(s.dx, dy)
+			l.UpdateGradWInto(s.dw, dy)
+		}
+		return s
+	}
+
+	ref := run(1)
+	for _, workers := range []int{2, 8} {
+		got := run(workers)
+		if !tensorsEqual(ref.y, got.y) {
+			t.Errorf("workers=%d: FpropInto differs", workers)
+		}
+		if !tensorsEqual(ref.dx, got.dx) {
+			t.Errorf("workers=%d: BpropInto differs", workers)
+		}
+		if !weightsEqual(ref.dw, got.dw) {
+			t.Errorf("workers=%d: UpdateGradWInto differs", workers)
+		}
+	}
+}
+
+// TestLayerSteadyStateZeroAllocs is the tentpole's acceptance contract:
+// once warm, a full training step through the layer performs no heap
+// allocation. Worker count is pinned to 1 so the Into entry points take
+// the closure-free sequential branch (multi-worker runs allocate goroutine
+// bookkeeping inside the parallel engine, which is outside this contract).
+func TestLayerSteadyStateZeroAllocs(t *testing.T) {
+	prev := parallel.SetDefaultWorkers(1)
+	defer parallel.SetDefaultWorkers(prev)
+
+	p := conv.Params{In: 8, Out: 8, K: 3, Pad: 1, H: 12, W: 12}
+	l, x, dy := buildSteadyLayer(t, p)
+	y := tensor.New(x.N, p.Out, p.OutH(), p.OutW())
+	dx := tensor.New(x.N, p.In, p.H, p.W)
+	dw := NewWeights(F2x2_3x3, p.In, p.Out)
+
+	// Warm up: sizes the arenas, GEMM panels, and cached domains.
+	for i := 0; i < 2; i++ {
+		l.FpropInto(y, x)
+		l.BpropInto(dx, dy)
+		l.UpdateGradWInto(dw, dy)
+	}
+
+	if n := testing.AllocsPerRun(10, func() { l.FpropInto(y, x) }); n != 0 {
+		t.Errorf("FpropInto: %v allocs/op at steady state, want 0", n)
+	}
+	if n := testing.AllocsPerRun(10, func() { l.BpropInto(dx, dy) }); n != 0 {
+		t.Errorf("BpropInto: %v allocs/op at steady state, want 0", n)
+	}
+	if n := testing.AllocsPerRun(10, func() { l.UpdateGradWInto(dw, dy) }); n != 0 {
+		t.Errorf("UpdateGradWInto: %v allocs/op at steady state, want 0", n)
+	}
+	if n := testing.AllocsPerRun(10, func() { l.Step(0.01, dw) }); n != 0 {
+		t.Errorf("Step: %v allocs/op at steady state, want 0", n)
+	}
+}
+
+// TestLayerIntoMatchesOneShot pins the Into forms to the allocating
+// wrappers they replaced: a warm reused-scratch step must equal a cold
+// standalone computation bit-for-bit.
+func TestLayerIntoMatchesOneShot(t *testing.T) {
+	p := conv.Params{In: 3, Out: 5, K: 3, Pad: 1, H: 9, W: 7}
+	l, x, dy := buildSteadyLayer(t, p)
+
+	// Cold references through the package-level one-shot paths.
+	tl := l.Tiling
+	xd := tl.TransformInput(x)
+	refY := tl.InverseOutput(MulForward(xd, l.W, nil))
+	dyd := tl.TransformOutputGrad(dy)
+	refDX := tl.InverseInputGrad(MulBackward(dyd, l.W, nil))
+	refDW := MulGrad(xd, dyd, nil)
+
+	y := tensor.New(x.N, p.Out, p.OutH(), p.OutW())
+	dx := tensor.New(x.N, p.In, p.H, p.W)
+	dw := NewWeights(F2x2_3x3, p.In, p.Out)
+	for it := 0; it < 3; it++ { // repeat: reused scratch must not drift
+		l.FpropInto(y, x)
+		l.BpropInto(dx, dy)
+		l.UpdateGradWInto(dw, dy)
+		if !tensorsEqual(refY, y) {
+			t.Fatalf("iteration %d: FpropInto diverges from one-shot path", it)
+		}
+		if !tensorsEqual(refDX, dx) {
+			t.Fatalf("iteration %d: BpropInto diverges from one-shot path", it)
+		}
+		if !weightsEqual(refDW, dw) {
+			t.Fatalf("iteration %d: UpdateGradWInto diverges from one-shot path", it)
+		}
+	}
+}
+
+// TestLayerBatchSizeChange exercises the ensureDomain reallocation path:
+// shrinking and growing the batch must keep results correct.
+func TestLayerBatchSizeChange(t *testing.T) {
+	p := conv.Params{In: 2, Out: 3, K: 3, Pad: 1, H: 6, W: 6}
+	l, _, _ := buildSteadyLayer(t, p)
+	r := tensor.NewRNG(9)
+	for _, batch := range []int{2, 1, 4, 2} {
+		x := tensor.New(batch, p.In, p.H, p.W)
+		r.FillNormal(x, 0, 1)
+		y := tensor.New(batch, p.Out, p.OutH(), p.OutW())
+		l.FpropInto(y, x)
+		want := l.Tiling.InverseOutput(MulForward(l.Tiling.TransformInput(x), l.W, nil))
+		if !tensorsEqual(want, y) {
+			t.Fatalf("batch=%d: FpropInto mismatch after domain resize", batch)
+		}
+	}
+}

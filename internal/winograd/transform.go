@@ -54,20 +54,36 @@ func (tr *Transform) Inverse1DOutput(v []float32) []float32 {
 	return matVec(tr.AT, v)
 }
 
+// Transform1DInputInto is Transform1DInput into a caller-owned slice of
+// length T (the hoisted form used by the 1-D hot loops).
+func (tr *Transform) Transform1DInputInto(dst, v []float32) {
+	matVecInto(dst, tr.BT, v)
+}
+
+// Inverse1DOutputInto is Inverse1DOutput into a caller-owned slice of
+// length m.
+func (tr *Transform) Inverse1DOutputInto(dst, v []float32) {
+	matVecInto(dst, tr.AT, v)
+}
+
 func matVec(m *tensor.Mat, v []float32) []float32 {
-	if len(v) != m.Cols {
+	out := make([]float32, m.Rows)
+	matVecInto(out, m, v)
+	return out
+}
+
+func matVecInto(dst []float32, m *tensor.Mat, v []float32) {
+	if len(v) != m.Cols || len(dst) != m.Rows {
 		panic("winograd: matVec length mismatch")
 	}
-	out := make([]float32, m.Rows)
 	for r := 0; r < m.Rows; r++ {
 		var acc float32
 		row := m.Data[r*m.Cols : (r+1)*m.Cols]
 		for c, mv := range row {
 			acc += mv * v[c]
 		}
-		out[r] = acc
+		dst[r] = acc
 	}
-	return out
 }
 
 // LiftOutputBias returns the T×T Winograd-domain tile L whose inverse
