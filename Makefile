@@ -6,9 +6,9 @@
 GO ?= go
 STATICCHECK_VERSION ?= 2025.1
 
-.PHONY: verify build vet test race fuzz lint bench bench-baseline benchdiff profile
+.PHONY: verify build vet lint lint-ci test race fuzz bench bench-baseline benchdiff profile
 
-verify: build vet test race
+verify: build vet lint test race
 
 build:
 	$(GO) build ./...
@@ -28,9 +28,16 @@ fuzz:
 	$(GO) test -fuzz=FuzzPredictorNeverUnderestimates -fuzztime=30s ./internal/quant/
 	$(GO) test -fuzz=FuzzBlockedGemmMatchesNaive -fuzztime=30s ./internal/tensor/
 
-# Pinned staticcheck, fetched on demand (requires network: runs in CI; on an
-# offline box this target is the only one that needs module downloads).
+# mptlint: the repo's own invariant analyzers (determinism, bounded
+# parallelism, zero-alloc kernels — DESIGN.md §9). Fully offline: type
+# information comes from `go list -export` build-cache data, so this runs
+# on an air-gapped machine and is part of `make verify`.
 lint:
+	$(GO) run ./cmd/mptlint ./...
+
+# Pinned staticcheck, fetched on demand (requires network, so it is a
+# separate CI-only target: `make lint`/`make verify` must stay offline).
+lint-ci: lint
 	$(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...
 
 # Run the full benchmark suite once, interactively.

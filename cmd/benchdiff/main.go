@@ -213,6 +213,7 @@ func diff(base, snap *Snapshot, mtol, tol float64, gateTimes, gateAllocs bool) i
 	}
 	sort.Strings(names)
 	failures := 0
+	allocFailures := 0
 	for _, n := range names {
 		b := base.Benchmarks[n]
 		s, ok := snap.Benchmarks[n]
@@ -248,6 +249,7 @@ func diff(base, snap *Snapshot, mtol, tol float64, gateTimes, gateAllocs bool) i
 			fmt.Printf("  ALLOC   %-32s 0 allocs/op baseline now %.0f allocs/op (%.0f B/op)\n",
 				n, s.AllocsPerOp, s.BytesPerOp)
 			failures++
+			allocFailures++
 		}
 		// Wall times: informational unless gating is requested.
 		if b.NsPerOp > 0 {
@@ -267,6 +269,12 @@ func diff(base, snap *Snapshot, mtol, tol float64, gateTimes, gateAllocs bool) i
 			}
 			fmt.Println()
 		}
+	}
+	if allocFailures > 0 {
+		// The static half of this gate usually names the offending line:
+		// mptlint's noalloc analyzer flags allocation constructs inside
+		// *Into and //mptlint:noalloc functions (DESIGN.md §9).
+		fmt.Printf("  hint: run `go run ./cmd/mptlint -run noalloc ./...` to locate the allocation statically\n")
 	}
 	return failures
 }

@@ -1,0 +1,83 @@
+// Command mptlint runs the repo's invariant analyzers (internal/lint)
+// over a set of package patterns and exits non-zero on any finding. It is
+// fully offline — types come from `go list -export` build-cache export
+// data, not from downloaded tools — so `make lint` and `make verify` work
+// on an air-gapped machine.
+//
+// Usage:
+//
+//	go run ./cmd/mptlint ./...            # whole repo, all analyzers
+//	go run ./cmd/mptlint -run noalloc ./internal/winograd
+//	go run ./cmd/mptlint -list            # describe the suite
+//
+// Findings print as file:line:col: message (analyzer). Suppress a false
+// positive with a reasoned directive on (or directly above) the line:
+//
+//	//nolint:mapiter -- keys are sorted on the next line
+//
+// The reason after " -- " is mandatory; a bare //nolint is itself an
+// error. See DESIGN.md §9 for each analyzer's invariant.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mptwino/internal/lint"
+)
+
+func main() {
+	var (
+		run  = flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+		list = flag.Bool("list", false, "list the analyzers and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	var names []string
+	if *run != "" {
+		names = strings.Split(*run, ",")
+	}
+	analyzers := lint.ByName(names)
+	if len(analyzers) == 0 {
+		fmt.Fprintf(os.Stderr, "mptlint: no analyzer matches -run %q (try -list)\n", *run)
+		os.Exit(2)
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mptlint:", err)
+		os.Exit(2)
+	}
+	pkgs, err := lint.Load(wd, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	bad := 0
+	for _, pkg := range pkgs {
+		diags := lint.ApplyNolint(pkg.Fset, pkg.Files, lint.Run(pkg, analyzers))
+		for _, d := range diags {
+			fmt.Println(d)
+			bad++
+		}
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "mptlint: %d finding(s)\n", bad)
+		os.Exit(1)
+	}
+}

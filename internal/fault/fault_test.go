@@ -82,7 +82,7 @@ func TestLinkStateComposition(t *testing.T) {
 	faults := []LinkFault{
 		{BandwidthScale: 0.5, Start: 0, End: 0},
 		{BandwidthScale: 0.5, ExtraSerDes: 3, Start: 0, End: 0},
-		{DropProb: 0.1, Start: 0, End: 0},       // pure drop: no state change
+		{DropProb: 0.1, Start: 0, End: 0},           // pure drop: no state change
 		{BandwidthScale: 0.1, Start: 100, End: 200}, // inactive at cycle 10
 	}
 	scale, extra := LinkState(faults, 10)

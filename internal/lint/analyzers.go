@@ -1,0 +1,32 @@
+package lint
+
+// All returns the full mptlint suite in reporting order. Each analyzer
+// encodes one of the repo's structural invariants; DESIGN.md §9 documents
+// the mapping and the suppression policy.
+func All() []*Analyzer {
+	return []*Analyzer{
+		MapIter,
+		NoGoroutine,
+		NoAlloc,
+		NoTime,
+		FloatOrder,
+	}
+}
+
+// ByName resolves a comma-separated analyzer selection ("" = all).
+func ByName(names []string) []*Analyzer {
+	if len(names) == 0 {
+		return All()
+	}
+	want := map[string]bool{}
+	for _, n := range names {
+		want[n] = true
+	}
+	var out []*Analyzer
+	for _, a := range All() {
+		if want[a.Name] {
+			out = append(out, a)
+		}
+	}
+	return out
+}

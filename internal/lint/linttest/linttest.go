@@ -1,0 +1,120 @@
+// Package linttest is the golden-test harness for the mptlint analyzers —
+// an offline equivalent of golang.org/x/tools/go/analysis/analysistest.
+// A testdata package annotates the lines where diagnostics are expected:
+//
+//	for k := range m {
+//		sum += vals[k] // want `float accumulation inside map iteration`
+//	}
+//
+// Each `// want` comment carries one or more backquoted or quoted regular
+// expressions; every expectation must be matched by exactly one diagnostic
+// on that line and every diagnostic must match an expectation. Diagnostics
+// are compared *after* //nolint suppression, so testdata can also pin the
+// suppression semantics (including the mandatory-reason rule).
+package linttest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strconv"
+	"testing"
+
+	"mptwino/internal/lint"
+)
+
+// wantRe captures the expectation list after a "// want" marker.
+var (
+	wantRe = regexp.MustCompile("//\\s*want\\s+(.*)$")
+	argRe  = regexp.MustCompile("`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
+)
+
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+	hit  bool
+}
+
+// Run loads the package at dir, applies analyzers (plus //nolint
+// filtering), and compares the findings against the package's // want
+// annotations.
+func Run(t *testing.T, dir string, analyzers ...*lint.Analyzer) {
+	t.Helper()
+	pkg, err := lint.LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := lint.ApplyNolint(pkg.Fset, pkg.Files, lint.Run(pkg, analyzers))
+
+	expects, err := parseWants(pkg.Fset, pkg.Files)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, d := range diags {
+		matched := false
+		for _, e := range expects {
+			if e.hit || e.file != d.Pos.Filename || e.line != d.Pos.Line {
+				continue
+			}
+			if e.re.MatchString(d.Message) {
+				e.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic at %s: %s (%s)", d.Pos, d.Message, d.Analyzer)
+		}
+	}
+	for _, e := range expects {
+		if !e.hit {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", e.file, e.line, e.raw)
+		}
+	}
+}
+
+// parseWants extracts the // want expectations from every comment in files.
+func parseWants(fset *token.FileSet, files []*ast.File) ([]*expectation, error) {
+	var out []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				args := argRe.FindAllStringSubmatch(m[1], -1)
+				if len(args) == 0 {
+					return nil, fmt.Errorf("%s: want comment with no quoted pattern", pos)
+				}
+				for _, a := range args {
+					pat := a[1]
+					if pat == "" && a[2] != "" {
+						// Double-quoted form: unquote escapes first.
+						uq, err := strconv.Unquote(`"` + a[2] + `"`)
+						if err != nil {
+							return nil, fmt.Errorf("%s: bad want pattern: %v", pos, err)
+						}
+						pat = uq
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						return nil, fmt.Errorf("%s: bad want regexp %q: %v", pos, pat, err)
+					}
+					out = append(out, &expectation{
+						file: pos.Filename,
+						line: pos.Line,
+						re:   re,
+						raw:  pat,
+					})
+				}
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,167 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// NoAlloc flags allocation constructs inside steady-state kernels: any
+// function whose name ends in "Into" or whose doc comment carries a
+// `//mptlint:noalloc` directive. These are the hot paths whose 0 allocs/op
+// contract benchdiff gates dynamically (`cmd/benchdiff -gate-allocs`,
+// DESIGN.md §8); this analyzer is the source-level half of that gate — it
+// catches the allocation when it is written, not when a benchmark happens
+// to execute it.
+//
+// Flagged constructs: make, new, append, slice/map composite literals,
+// &T{...} (heap-escaping address-of-literal), fmt.Sprintf/Errorf and
+// errors.New, and func literals. Two deliberate carve-outs:
+//
+//   - cold panic guards: allocations inside an if-block that terminates in
+//     panic() are shape-check error paths, never executed at steady state;
+//   - func literals passed directly to internal/parallel primitives: the
+//     pool fan-out closure is one amortized allocation per kernel call on
+//     the multi-worker path, and the single-worker branches (which the
+//     0-allocs benchmarks pin via SetDefaultWorkers(1)) are closure-free.
+var NoAlloc = &Analyzer{
+	Name: "noalloc",
+	Doc: "flags allocation constructs (make/new/append/literals/closures) " +
+		"inside *Into functions and //mptlint:noalloc-annotated functions",
+	Run: runNoAlloc,
+}
+
+func runNoAlloc(pass *Pass) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if !strings.HasSuffix(fn.Name.Name, "Into") && !funcDirectives(fn)["noalloc"] {
+				continue
+			}
+			checkNoAllocBody(pass, fn)
+		}
+	}
+}
+
+func checkNoAllocBody(pass *Pass, fn *ast.FuncDecl) {
+	name := fn.Name.Name
+	var walk func(n ast.Node, cold bool)
+	walk = func(n ast.Node, cold bool) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			if m == nil || m == n {
+				return true
+			}
+			switch m := m.(type) {
+			case *ast.IfStmt:
+				// Descend separately so the cold flag is set for panic
+				// guards (and their else-chains keep the parent flag).
+				walk(m.Cond, cold)
+				if m.Init != nil {
+					walk(m.Init, cold)
+				}
+				walk(m.Body, cold || terminatesInPanic(m.Body))
+				if m.Else != nil {
+					walk(m.Else, cold)
+				}
+				return false
+			case *ast.FuncLit:
+				if !cold && !isParallelArg(pass, fn, m) {
+					pass.Reportf(m.Pos(), "%s: func literal allocates its closure; hoist it or route the fan-out through internal/parallel", name)
+				}
+				// Keep scanning the body: allocations inside the closure
+				// still run per item.
+				walk(m.Body, cold)
+				return false
+			case *ast.CallExpr:
+				checkNoAllocCall(pass, name, m, cold)
+			case *ast.UnaryExpr:
+				if !cold && m.Op == token.AND {
+					if _, ok := ast.Unparen(m.X).(*ast.CompositeLit); ok {
+						pass.Reportf(m.Pos(), "%s: &composite literal escapes to the heap; reuse a caller-owned or scratch value", name)
+					}
+				}
+			case *ast.CompositeLit:
+				t := pass.TypeOf(m)
+				if cold || t == nil {
+					return true
+				}
+				switch t.Underlying().(type) {
+				case *types.Slice:
+					pass.Reportf(m.Pos(), "%s: slice literal allocates; use a scratch buffer", name)
+				case *types.Map:
+					pass.Reportf(m.Pos(), "%s: map literal allocates; hoist it to a package var or scratch", name)
+				}
+			}
+			return true
+		})
+	}
+	walk(fn.Body, false)
+}
+
+func checkNoAllocCall(pass *Pass, name string, call *ast.CallExpr, cold bool) {
+	if cold {
+		return
+	}
+	switch {
+	case isBuiltin(pass.Info, call, "make"):
+		pass.Reportf(call.Pos(), "%s: make allocates; grow a reusable scratch buffer outside the hot path", name)
+	case isBuiltin(pass.Info, call, "new"):
+		pass.Reportf(call.Pos(), "%s: new allocates; reuse a caller-owned value", name)
+	case isBuiltin(pass.Info, call, "append"):
+		pass.Reportf(call.Pos(), "%s: append may grow its backing array; write into a pre-sized buffer", name)
+	default:
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			obj := selectionObj(pass.Info, sel)
+			if obj == nil || obj.Pkg() == nil {
+				return
+			}
+			full := obj.Pkg().Path() + "." + obj.Name()
+			switch full {
+			case "fmt.Sprintf", "fmt.Sprint", "fmt.Sprintln", "fmt.Errorf", "errors.New":
+				pass.Reportf(call.Pos(), "%s: %s allocates; keep formatting out of the steady-state path", name, full)
+			}
+		}
+	}
+}
+
+// terminatesInPanic reports whether block's last statement is a panic call
+// — the shape of a cold shape-check guard.
+func terminatesInPanic(block *ast.BlockStmt) bool {
+	if len(block.List) == 0 {
+		return false
+	}
+	es, ok := block.List[len(block.List)-1].(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := ast.Unparen(es.X).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	return ok && id.Name == "panic"
+}
+
+// isParallelArg reports whether lit is a direct argument to a call into
+// mptwino/internal/parallel (ForEach, ForEachWorker, Map, Pool.Run, ...)
+// within fn.
+func isParallelArg(pass *Pass, fn *ast.FuncDecl, lit *ast.FuncLit) bool {
+	found := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || found {
+			return !found
+		}
+		for _, arg := range call.Args {
+			if ast.Unparen(arg) == lit && isPkgFunc(pass.Info, call, "mptwino/internal/parallel") {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

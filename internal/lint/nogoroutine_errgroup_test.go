@@ -1,0 +1,57 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// The errgroup-import branch of nogoroutine cannot appear in golden
+// testdata: the module is built offline and golang.org/x/sync is not in
+// the build cache, so a testdata file importing it would fail to load.
+// The check is purely syntactic (an import path suffix), so pin it on a
+// parsed-but-untypechecked file instead.
+func TestNoGoroutineFlagsErrgroupImport(t *testing.T) {
+	const src = `package p
+
+import (
+	"golang.org/x/sync/errgroup"
+)
+
+func f() {
+	var g errgroup.Group
+	_ = g
+}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "errgroup_user.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var diags []Diagnostic
+	pass := &Pass{
+		Analyzer: NoGoroutine,
+		Fset:     fset,
+		Files:    []*ast.File{f},
+		Info: &types.Info{
+			Uses:       map[*ast.Ident]types.Object{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+		},
+		diags: &diags,
+	}
+	NoGoroutine.Run(pass)
+
+	found := false
+	for _, d := range diags {
+		if strings.Contains(d.Message, "errgroup import outside internal/parallel") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("expected an errgroup-import diagnostic, got %v", diags)
+	}
+}

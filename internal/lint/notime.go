@@ -1,0 +1,79 @@
+package lint
+
+import (
+	"go/ast"
+	"path/filepath"
+	"strconv"
+)
+
+// timeExempt lists the places allowed to observe wall-clock time or seed
+// ambient randomness:
+//
+//   - internal/tensor/rng.go is the one sanctioned randomness source (the
+//     SplitMix64 stream every reproducible init draws from);
+//   - cmd/benchdiff stamps snapshots with the run date — a reporting
+//     concern, not a simulated quantity;
+//   - internal/trace timestamps emitted event logs for humans.
+//
+// Everything else is replay-deterministic: simulated time advances in
+// cycles, and any wall-clock read would make a re-run diverge from its
+// trace.
+var (
+	timeExemptPkgs = map[string]bool{
+		"mptwino/cmd/benchdiff":  true,
+		"mptwino/internal/trace": true,
+	}
+	timeExemptFiles = map[string]bool{
+		"rng.go": true, // only within mptwino/internal/tensor
+	}
+)
+
+// NoTime flags time.Now/time.Since and math/rand imports outside the
+// exempt list above, protecting replay determinism: the simulator's
+// outputs must be a pure function of its inputs and seeds.
+var NoTime = &Analyzer{
+	Name: "notime",
+	Doc: "flags time.Now/time.Since and math/rand outside " +
+		"internal/tensor/rng.go and the bench/trace tooling (replay determinism)",
+	Run: runNoTime,
+}
+
+func runNoTime(pass *Pass) {
+	if pass.Pkg != nil && timeExemptPkgs[pass.Pkg.Path()] {
+		return
+	}
+	for _, file := range pass.Files {
+		fname := filepath.Base(pass.Fset.Position(file.Pos()).Filename)
+		if timeExemptFiles[fname] && pass.Pkg != nil && pass.Pkg.Path() == "mptwino/internal/tensor" {
+			continue
+		}
+		for _, imp := range file.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == "math/rand" || path == "math/rand/v2" {
+				pass.Reportf(imp.Pos(), "math/rand outside internal/tensor/rng.go: draw from tensor.RNG so every random stream is seeded and replayable")
+			}
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := selectionObj(pass.Info, sel)
+			if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "time" {
+				return true
+			}
+			switch obj.Name() {
+			case "Now", "Since", "Until":
+				pass.Reportf(call.Pos(), "time.%s outside bench/trace tooling: simulated quantities must come from cycle counts, not wall clock (replay determinism)", obj.Name())
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,33 @@
+package lint_test
+
+import (
+	"testing"
+
+	"mptwino/internal/lint"
+	"mptwino/internal/lint/linttest"
+)
+
+// Each analyzer has a golden testdata package annotated with // want
+// expectations (see linttest). The suites run the driver stack end to
+// end: go list -export loading, type-checking, analysis, and //nolint
+// suppression with the mandatory-reason rule.
+
+func TestMapIter(t *testing.T) {
+	linttest.Run(t, "testdata/src/mapiter", lint.MapIter)
+}
+
+func TestNoGoroutine(t *testing.T) {
+	linttest.Run(t, "testdata/src/nogoroutine", lint.NoGoroutine)
+}
+
+func TestNoAlloc(t *testing.T) {
+	linttest.Run(t, "testdata/src/noalloc", lint.NoAlloc)
+}
+
+func TestNoTime(t *testing.T) {
+	linttest.Run(t, "testdata/src/notime", lint.NoTime)
+}
+
+func TestFloatOrder(t *testing.T) {
+	linttest.Run(t, "testdata/src/floatorder", lint.FloatOrder)
+}

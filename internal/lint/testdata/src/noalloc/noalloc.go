@@ -1,0 +1,87 @@
+// Package noalloc is the golden testdata for the noalloc analyzer:
+// allocation constructs inside steady-state (*Into / annotated) kernels.
+package noalloc
+
+import (
+	"fmt"
+
+	"mptwino/internal/parallel"
+)
+
+func scaleInto(dst, src []float64, k float64) {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("shape mismatch %d != %d", len(dst), len(src))) // cold panic guard: allowed
+	}
+	for i, v := range src {
+		dst[i] = k * v
+	}
+}
+
+func badMakeInto(dst []float64, src []float64) {
+	tmp := make([]float64, len(src)) // want `make allocates`
+	copy(tmp, src)
+	copy(dst, tmp)
+}
+
+func badAppendInto(dst *[]float64, v float64) {
+	*dst = append(*dst, v) // want `append may grow its backing array`
+}
+
+func badNewInto(dst *float64) {
+	p := new(float64) // want `new allocates`
+	*dst = *p
+}
+
+type vec struct{ x, y float64 }
+
+func badLiteralsInto(dst []float64) {
+	buf := []float64{1, 2, 3} // want `slice literal allocates`
+	m := map[int]int{1: 2}    // want `map literal allocates`
+	v := &vec{1, 2}           // want `&composite literal escapes`
+	dst[0] = buf[0] + float64(m[1]) + v.x
+}
+
+// A plain struct value literal stays on the stack: not flagged.
+func valueLiteralInto(dst []float64) {
+	v := vec{1, 2}
+	dst[0] = v.x + v.y
+}
+
+func badClosureInto(dst, src []float64) {
+	add := func(i int) { dst[i] += src[i] } // want `func literal allocates its closure`
+	for i := range src {
+		add(i)
+	}
+}
+
+// The pool fan-out closure is the sanctioned exception: one amortized
+// allocation per kernel call, closure-free on the single-worker branch.
+func parallelClosureInto(dst, src []float64) {
+	parallel.ForEachWorker(0, len(src), func(worker, i int) {
+		dst[i] = 2 * src[i]
+	})
+}
+
+// Functions not named *Into and not annotated are out of scope.
+func builderHelper(n int) []float64 {
+	return make([]float64, n)
+}
+
+// The //mptlint:noalloc directive opts a function in by annotation even
+// though its name does not end in Into.
+//
+//mptlint:noalloc
+func annotatedKernel(dst []float64) {
+	tmp := make([]float64, 4) // want `make allocates`
+	copy(dst, tmp)
+}
+
+func suppressedInto(dst []float64) {
+	tmp := make([]float64, 1) //nolint:noalloc -- testdata: first-call growth, amortized away at steady state
+	copy(dst, tmp)
+}
+
+func badSprintfInto(dst []byte, x int) {
+	s := fmt.Sprintf("%d", x) // want `fmt.Sprintf allocates`
+	copy(dst, s)
+}

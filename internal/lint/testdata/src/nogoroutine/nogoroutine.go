@@ -1,0 +1,50 @@
+// Package nogoroutine is the golden testdata for the nogoroutine
+// analyzer: raw fan-out primitives outside internal/parallel. (The
+// errgroup-import case cannot appear here — the module has no network and
+// no x/sync — so it is pinned by a white-box unit test instead.)
+package nogoroutine
+
+import (
+	"sync"
+
+	"mptwino/internal/parallel"
+)
+
+func rawGoStmt(ch chan int) {
+	go func() { ch <- 1 }() // want `raw go statement outside internal/parallel`
+}
+
+func waitGroupVar() {
+	var wg sync.WaitGroup // want `sync.WaitGroup outside internal/parallel`
+	wg.Wait()
+}
+
+type holder struct {
+	wg sync.WaitGroup // want `sync.WaitGroup outside internal/parallel`
+}
+
+// Calling into the sanctioned pool is exactly what the analyzer wants to
+// see: none of these call sites are flagged.
+func sanctionedFanOut(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	parallel.ForEach(0, len(xs), func(i int) {
+		out[i] = xs[i] * 2
+	})
+	parallel.ForEachWorker(0, len(xs), func(worker, i int) {
+		out[i] = xs[i] * 2
+	})
+	return parallel.Map(0, len(xs), func(i int) float64 { return xs[i] })
+}
+
+// Other sync primitives (Mutex, Once) are fine — the invariant is about
+// fan-out, not mutual exclusion.
+func mutexIsFine() {
+	var mu sync.Mutex
+	mu.Lock()
+	mu.Unlock()
+}
+
+func suppressedSpawn(done chan struct{}) {
+	//nolint:nogoroutine -- testdata: pretend this is a sanctioned long-lived daemon
+	go func() { close(done) }()
+}

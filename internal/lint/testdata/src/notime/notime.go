@@ -1,0 +1,27 @@
+// Package notime is the golden testdata for the notime analyzer:
+// wall-clock and ambient randomness outside the sanctioned sources.
+// (This package's path is not on the exempt list, so everything fires;
+// the rng.go / bench / trace exemptions are exercised by the repo-wide
+// run in cmd/mptlint, which must come back clean.)
+package notime
+
+import (
+	"math/rand" // want `math/rand outside internal/tensor/rng.go`
+	"time"
+)
+
+func wallClock() int64 {
+	t0 := time.Now() // want `time.Now outside bench/trace tooling`
+	_ = rand.Int()
+	d := time.Since(t0) // want `time.Since outside bench/trace tooling`
+	return int64(d)
+}
+
+// Pure time arithmetic on explicit values is deterministic: not flagged.
+func pureDurations(cycles int64, hz int64) time.Duration {
+	return time.Duration(cycles * int64(time.Second) / hz)
+}
+
+func suppressedClock() time.Time {
+	return time.Now() //nolint:notime -- testdata: progress logging only, value never feeds a simulated quantity
+}

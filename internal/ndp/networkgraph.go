@@ -43,7 +43,7 @@ func BuildNetworkGraph(cfg Config, net model.Network, ng, nc, iterations int) (*
 				if err != nil {
 					return nil, err
 				}
-				lg, err := buildLayerInto(&out.Graph, cfg, LayerGraphSpec{
+				lg, err := appendLayerGraph(&out.Graph, cfg, LayerGraphSpec{
 					Tr: tr, P: l.P, Batch: net.Batch, Ng: ng, Nc: nc,
 				})
 				if err != nil {
@@ -89,9 +89,9 @@ func addDep(g *TaskGraph, task, dep int) {
 	g.Tasks[task].Deps = append(g.Tasks[task].Deps, dep)
 }
 
-// buildLayerInto is BuildLayerGraph but appending into an existing graph,
+// appendLayerGraph is BuildLayerGraph but appending into an existing graph,
 // so multiple layers share one ID space.
-func buildLayerInto(g *TaskGraph, cfg Config, spec LayerGraphSpec) (*LayerGraph, error) {
+func appendLayerGraph(g *TaskGraph, cfg Config, spec LayerGraphSpec) (*LayerGraph, error) {
 	sub, err := BuildLayerGraph(cfg, spec)
 	if err != nil {
 		return nil, err

@@ -225,3 +225,31 @@ func TestPoolPanicPropagates(t *testing.T) {
 	})
 	t.Fatal("Run returned without panicking")
 }
+
+// TestForEachWorkerIndexIsExclusive is the misuse regression the noalloc
+// scratch design leans on: ForEachWorker's contract is that a worker
+// index is never handed to two goroutines at the same time, so per-worker
+// scratch (GEMM panels, staging tiles) needs no locking. Each item flips
+// its worker's busy flag on entry and clears it on exit; a CAS failure
+// would mean two concurrent items observed the same pool index.
+func TestForEachWorkerIndexIsExclusive(t *testing.T) {
+	const workers, items = 8, 4096
+	busy := make([]atomic.Int32, workers)
+	var violations atomic.Int32
+	ForEachWorker(workers, items, func(worker, item int) {
+		if worker < 0 || worker >= workers {
+			t.Errorf("worker index %d out of range [0,%d)", worker, workers)
+		}
+		if !busy[worker].CompareAndSwap(0, 1) {
+			violations.Add(1)
+		}
+		// Hold the slot long enough for a duplicate index to collide.
+		for spin := 0; spin < 100; spin++ {
+			_ = spin
+		}
+		busy[worker].Store(0)
+	})
+	if n := violations.Load(); n != 0 {
+		t.Fatalf("%d items saw their worker index concurrently reused — per-worker scratch would race", n)
+	}
+}

@@ -152,6 +152,8 @@ func checkTN(dst, a, b *Mat) {
 // MatMulIntoScratch computes dst = a×b using the blocked kernel with the
 // caller's packing scratch (falling back to the naive loop for small
 // operands). Steady-state calls perform no allocations.
+//
+//mptlint:noalloc
 func MatMulIntoScratch(dst, a, b *Mat, s *GemmScratch) {
 	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
 		panic(fmt.Sprintf("tensor: matmul shape error dst %dx%d = %dx%d · %dx%d",
@@ -166,6 +168,8 @@ func MatMulIntoScratch(dst, a, b *Mat, s *GemmScratch) {
 
 // MatMulNTInto computes dst = a×bᵀ without materializing bᵀ: b is stored
 // row-major as dst.Cols × a.Cols. This is the bprop form dX = dY·Wᵀ.
+//
+//mptlint:noalloc
 func MatMulNTInto(dst, a, b *Mat) {
 	s := gemmPool.Get().(*GemmScratch)
 	MatMulNTIntoScratch(dst, a, b, s)
@@ -173,6 +177,8 @@ func MatMulNTInto(dst, a, b *Mat) {
 }
 
 // MatMulNTIntoScratch is MatMulNTInto with caller-owned packing scratch.
+//
+//mptlint:noalloc
 func MatMulNTIntoScratch(dst, a, b *Mat, s *GemmScratch) {
 	checkNT(dst, a, b)
 	if smallGemm(dst.Rows, dst.Cols, a.Cols) {
@@ -184,6 +190,8 @@ func MatMulNTIntoScratch(dst, a, b *Mat, s *GemmScratch) {
 
 // MatMulTNInto computes dst = aᵀ×b without materializing aᵀ: a is stored
 // row-major as K × dst.Rows. This is the update-grad form dW = Xᵀ·dY.
+//
+//mptlint:noalloc
 func MatMulTNInto(dst, a, b *Mat) {
 	s := gemmPool.Get().(*GemmScratch)
 	MatMulTNIntoScratch(dst, a, b, s)
@@ -191,6 +199,8 @@ func MatMulTNInto(dst, a, b *Mat) {
 }
 
 // MatMulTNIntoScratch is MatMulTNInto with caller-owned packing scratch.
+//
+//mptlint:noalloc
 func MatMulTNIntoScratch(dst, a, b *Mat, s *GemmScratch) {
 	checkTN(dst, a, b)
 	if smallGemm(dst.Rows, dst.Cols, a.Rows) {

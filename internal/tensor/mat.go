@@ -92,6 +92,8 @@ func MatMul(a, b *Mat) *Mat {
 // bit-identical to the reference for all finite inputs (see the contract
 // note there). Callers inside parallel loops should prefer
 // MatMulIntoScratch with per-worker scratch to stay allocation-free.
+//
+//mptlint:noalloc
 func MatMulInto(dst, a, b *Mat) {
 	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
 		panic(fmt.Sprintf("tensor: matmul shape error dst %dx%d = %dx%d · %dx%d",
@@ -107,6 +109,8 @@ func MatMulInto(dst, a, b *Mat) {
 }
 
 // MatMulAccInto computes dst += a×b without zeroing dst first.
+//
+//mptlint:noalloc
 func MatMulAccInto(dst, a, b *Mat) {
 	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
 		panic(fmt.Sprintf("tensor: matmul-acc shape error dst %dx%d += %dx%d · %dx%d",

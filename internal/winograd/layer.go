@@ -117,6 +117,8 @@ func (l *Layer) Fprop(x *tensor.Tensor) *tensor.Tensor {
 
 // FpropInto is Fprop writing into a caller-owned output tensor; after the
 // first call at a given batch size, no allocations occur.
+//
+//mptlint:noalloc
 func (l *Layer) FpropInto(y, x *tensor.Tensor) {
 	sc := l.scratch()
 	xd := l.ensureDomain(&l.xd, x.N, x.C)
@@ -136,6 +138,8 @@ func (l *Layer) Bprop(dy *tensor.Tensor) *tensor.Tensor {
 
 // BpropInto is Bprop writing into a caller-owned gradient tensor
 // (overwritten); allocation-free at steady state.
+//
+//mptlint:noalloc
 func (l *Layer) BpropInto(dx, dy *tensor.Tensor) {
 	sc := l.scratch()
 	dyd := l.ensureDomain(&l.dyd, dy.N, dy.C)
@@ -155,6 +159,8 @@ func (l *Layer) UpdateGradW(dy *tensor.Tensor) *Weights {
 
 // UpdateGradWInto is UpdateGradW into caller-owned Weights;
 // allocation-free at steady state.
+//
+//mptlint:noalloc
 func (l *Layer) UpdateGradWInto(dw *Weights, dy *tensor.Tensor) {
 	if l.lastX == nil {
 		panic("winograd: UpdateGradW before Fprop")
