@@ -6,7 +6,7 @@
 GO ?= go
 STATICCHECK_VERSION ?= 2025.1
 
-.PHONY: verify build vet lint lint-ci test race fuzz bench bench-baseline benchdiff profile
+.PHONY: verify build vet lint lint-ci test race fuzz bench bench-baseline benchdiff profile trace
 
 verify: build vet lint test race
 
@@ -53,6 +53,14 @@ bench-baseline:
 # (see EXPERIMENTS.md for the policy).
 benchdiff:
 	$(GO) run ./cmd/benchdiff
+
+# Deterministic cycle-domain telemetry walkthrough (DESIGN.md §10): sweep
+# VGG-16 over every Table IV config plus a fault-recovery run, write the
+# Chrome trace_event timeline to trace.json (open in chrome://tracing or
+# https://ui.perfetto.dev), and dump the counter registry. Timestamps are
+# simulated cycles, so the output is byte-identical at any -parallel value.
+trace:
+	$(GO) run ./cmd/mptsim -net vgg -config all -faults 17 -trace trace.json -metrics
 
 # CPU + heap profiles. The first recipe profiles the timing simulator via
 # mptsim's -cpuprofile/-memprofile flags; the second profiles the numeric

@@ -30,6 +30,7 @@ import (
 	"mptwino/internal/parallel"
 	"mptwino/internal/quant"
 	"mptwino/internal/sim"
+	"mptwino/internal/telemetry"
 	"mptwino/internal/tensor"
 	"mptwino/internal/topology"
 	"mptwino/internal/winograd"
@@ -548,6 +549,56 @@ func BenchmarkLayerUpdateGradSteady(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		l.UpdateGradWInto(dw, dy)
 	}
+}
+
+// The *SteadyTelemetry twins run the same hot loops with a live metrics
+// registry attached to the engine-level hooks, proving the enabled path
+// is also allocation-free (the benchdiff zero-alloc gate covers them like
+// their twins; benchdiff additionally prints the wall-time ratio against
+// the detached twin as an informational overhead report). The counted
+// GEMM work is reported as a deterministic model metric.
+func attachTelemetry() (*telemetry.Registry, func()) {
+	reg := telemetry.NewRegistry()
+	tensor.Attach(reg)
+	parallel.Attach(reg)
+	return reg, func() {
+		tensor.Attach(nil)
+		parallel.Attach(nil)
+	}
+}
+
+func benchSteadyTelemetry(b *testing.B, step func(l *winograd.Layer, x, y, dy, dx *tensor.Tensor, dw *winograd.Weights)) {
+	reg, detach := attachTelemetry()
+	defer detach()
+	l, x, y, dy, dx, dw, restore := steadyLayerSetup(b)
+	defer restore()
+	flops := reg.Counter("tensor.gemm_flops")
+	start := flops.Load()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		step(l, x, y, dy, dx, dw)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(flops.Load()-start)/float64(b.N), "gemm_flops/op")
+}
+
+func BenchmarkLayerFpropSteadyTelemetry(b *testing.B) {
+	benchSteadyTelemetry(b, func(l *winograd.Layer, x, y, _, _ *tensor.Tensor, _ *winograd.Weights) {
+		l.FpropInto(y, x)
+	})
+}
+
+func BenchmarkLayerBpropSteadyTelemetry(b *testing.B) {
+	benchSteadyTelemetry(b, func(l *winograd.Layer, _, _, dy, dx *tensor.Tensor, _ *winograd.Weights) {
+		l.BpropInto(dx, dy)
+	})
+}
+
+func BenchmarkLayerUpdateGradSteadyTelemetry(b *testing.B) {
+	benchSteadyTelemetry(b, func(l *winograd.Layer, _, _, dy, _ *tensor.Tensor, dw *winograd.Weights) {
+		l.UpdateGradWInto(dw, dy)
+	})
 }
 
 // BenchmarkTransformFused / BenchmarkTransformGeneric compare the compiled

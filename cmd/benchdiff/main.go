@@ -118,11 +118,37 @@ func main() {
 		}
 		fatal(err)
 	}
+	reportTelemetryOverhead(snap)
 	if failures := diff(base, snap, *mtol, *tol, *gateTimes, *gateAllocs); failures > 0 {
 		fmt.Printf("benchdiff: FAIL — %d regression(s) vs %s\n", failures, *baseline)
 		os.Exit(1)
 	}
 	fmt.Printf("benchdiff: OK — model metrics within %.3g and zero-alloc contracts hold vs %s\n", *mtol, *baseline)
+}
+
+// reportTelemetryOverhead prints the wall-time ratio of every
+// <Name>Telemetry benchmark against its detached <Name> twin. The report
+// is informational only — wall time is machine noise at 1x benchtime; the
+// enforced telemetry contract is the twins' zero-alloc gate and their
+// deterministic model metrics.
+func reportTelemetryOverhead(snap *Snapshot) {
+	names := make([]string, 0, len(snap.Benchmarks))
+	for n := range snap.Benchmarks {
+		if strings.HasSuffix(n, "Telemetry") {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		twin := strings.TrimSuffix(n, "Telemetry")
+		b, ok := snap.Benchmarks[twin]
+		if !ok || b.NsPerOp <= 0 {
+			continue
+		}
+		t := snap.Benchmarks[n]
+		fmt.Printf("  telemetry overhead %-28s %.3gms -> %.3gms (%.2fx)\n",
+			twin, b.NsPerOp/1e6, t.NsPerOp/1e6, t.NsPerOp/b.NsPerOp)
+	}
 }
 
 func fatal(err error) {

@@ -10,6 +10,11 @@
 //	mptsim -layer Mid-1 -k 5 -batch 512            # 5x5 kernels
 //	mptsim -net wrn -faults 17                     # module 17 fails; show recovery
 //	mptsim -net wrn -faults 3,7,200 -config w_mp*  # multiple failures
+//	mptsim -net vgg -trace out.json -metrics       # cycle-domain Chrome trace + counters
+//
+// Telemetry output is deterministic: for a fixed invocation the trace
+// JSON and metrics dumps are byte-identical at any -parallel setting
+// (timestamps are simulated cycles, never wall clock).
 package main
 
 import (
@@ -22,18 +27,24 @@ import (
 	"strings"
 
 	"mptwino/internal/model"
+	"mptwino/internal/parallel"
 	"mptwino/internal/sim"
+	"mptwino/internal/telemetry"
 )
 
 func main() {
 	layerName := flag.String("layer", "", "Table II layer: Early, Mid-1, Mid-2, Late-1, Late-2")
-	netName := flag.String("net", "", "network: wrn, resnet34, fractalnet")
+	netName := flag.String("net", "", "network: wrn, resnet34, fractalnet, vgg")
 	cfgName := flag.String("config", "w_mp++", "Table IV config (d_dp,w_dp,w_mp,w_mp+,w_mp*,w_mp++) or 'all'")
 	workers := flag.Int("workers", 256, "NDP worker count")
 	batch := flag.Int("batch", 256, "total batch size (layer mode only; networks use their catalog batch)")
 	k := flag.Int("k", 3, "kernel size for layer mode: 3 or 5")
 	breakdown := flag.Bool("breakdown", false, "layer mode: show per-resource durations and the binding resource")
 	faults := flag.String("faults", "", "net mode: comma-separated failed module IDs; re-solves clustering over the survivors and reports healthy vs degraded")
+	traceFile := flag.String("trace", "", "write a Chrome trace_event JSON (chrome://tracing, Perfetto) with simulated-cycle timestamps to this file")
+	metrics := flag.Bool("metrics", false, "dump the telemetry counters as aligned text on exit")
+	metricsJSON := flag.String("metrics-json", "", "write the telemetry counters as JSON to this file ('-' for stdout)")
+	par := flag.Int("parallel", 0, "host goroutines for the sweep fan-out (0 = GOMAXPROCS); results and telemetry are byte-identical for every value")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -65,6 +76,22 @@ func main() {
 
 	s := sim.DefaultSystem()
 	s.Workers = *workers
+	s.Parallel = *par
+
+	// Telemetry: any of -trace/-metrics/-metrics-json turns the registry
+	// on; -trace additionally records the cycle-domain event stream.
+	var reg *telemetry.Registry
+	var tracer *telemetry.Tracer
+	if *traceFile != "" || *metrics || *metricsJSON != "" {
+		reg = telemetry.NewRegistry()
+		parallel.Attach(reg)
+	}
+	if *traceFile != "" {
+		tracer = telemetry.NewTracer()
+	}
+	s.Metrics = reg
+	s.Trace = tracer
+	defer writeTelemetry(reg, tracer, *traceFile, *metrics, *metricsJSON)
 
 	var cfgs []sim.SystemConfig
 	if *cfgName == "all" {
@@ -205,8 +232,54 @@ func findNetwork(name string) (model.Network, error) {
 		return model.ResNet34(), nil
 	case "fractalnet", "fractal":
 		return model.FractalNet44(), nil
+	case "vgg", "vgg16", "vgg-16":
+		return model.VGG16(), nil
 	default:
-		return model.Network{}, fmt.Errorf("unknown network %q (wrn, resnet34, fractalnet)", name)
+		return model.Network{}, fmt.Errorf("unknown network %q (wrn, resnet34, fractalnet, vgg)", name)
+	}
+}
+
+// writeTelemetry flushes the run's telemetry: the Chrome trace_event JSON
+// to tracePath, the counter registry as aligned text to stdout (-metrics)
+// and/or JSON to jsonPath ('-' = stdout). All output is canonical bytes —
+// sorted counter names, stable-sorted events — so runs at different
+// -parallel settings diff clean.
+func writeTelemetry(reg *telemetry.Registry, tracer *telemetry.Tracer, tracePath string, text bool, jsonPath string) {
+	if tracer != nil && tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			fail(err)
+		}
+		if err := tracer.WriteJSON(f); err != nil {
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "mptsim: wrote %d trace events to %s\n", tracer.Len(), tracePath)
+	}
+	if reg == nil {
+		return
+	}
+	if text {
+		fmt.Println()
+		if err := reg.WriteText(os.Stdout); err != nil {
+			fail(err)
+		}
+	}
+	if jsonPath != "" {
+		w := os.Stdout
+		if jsonPath != "-" {
+			f, err := os.Create(jsonPath)
+			if err != nil {
+				fail(err)
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := reg.WriteJSON(w); err != nil {
+			fail(err)
+		}
 	}
 }
 

@@ -8,8 +8,8 @@ import (
 	"mptwino/internal/nn"
 	"mptwino/internal/quant"
 	"mptwino/internal/tensor"
-	"mptwino/internal/trace"
 	"mptwino/internal/winograd"
+	"mptwino/internal/workload"
 )
 
 // predictionWorkload builds a Winograd-domain output Domain from a real
@@ -33,7 +33,7 @@ func predictionWorkload(dataset string, seed uint64) *winograd.Domain {
 	if err != nil {
 		panic(err)
 	}
-	x := trace.GaussianImages(batch, p.In, p.H, p.W, 0, 1, seed+1)
+	x := workload.GaussianImages(batch, p.In, p.H, p.W, 0, 1, seed+1)
 	// ReLU the inputs (outputs of a previous layer are non-negative).
 	for i, v := range x.Data {
 		if v < 0 {
@@ -115,7 +115,7 @@ func Fig14() Result {
 	var b strings.Builder
 	metrics := map[string]float64{}
 	p := conv.Params{In: 1, Out: 4, K: 3, Pad: 1, H: 8, W: 8}
-	ds := trace.QuadrantBlobs(32, 1, 8, 8, 55)
+	ds := workload.QuadrantBlobs(32, 1, 8, 8, 55)
 
 	build := func(mode nn.JoinMode) (*nn.FractalBlock, *nn.Sequential) {
 		rng := tensor.NewRNG(77)

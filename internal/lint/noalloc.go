@@ -25,6 +25,14 @@ import (
 //     pool fan-out closure is one amortized allocation per kernel call on
 //     the multi-worker path, and the single-worker branches (which the
 //     0-allocs benchmarks pin via SetDefaultWorkers(1)) are closure-free.
+//
+// The telemetry layer gets its own discrimination: the nil-safe atomic
+// updates (Counter.Add/Inc, Gauge.Set/Max, Histogram.Observe) are
+// allocation-free by construction and sanctioned inside kernels, but every
+// OTHER call into internal/telemetry — registry handle lookups, trace
+// event emission — locks and/or allocates and is flagged. Instrumented
+// kernels therefore resolve handles at attach time and bump them in the
+// loop, which is exactly the shape the 0 allocs/op contract needs.
 var NoAlloc = &Analyzer{
 	Name: "noalloc",
 	Doc: "flags allocation constructs (make/new/append/literals/closures) " +
@@ -117,6 +125,15 @@ func checkNoAllocCall(pass *Pass, name string, call *ast.CallExpr, cold bool) {
 		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
 			obj := selectionObj(pass.Info, sel)
 			if obj == nil || obj.Pkg() == nil {
+				return
+			}
+			if obj.Pkg().Path() == "mptwino/internal/telemetry" {
+				switch obj.Name() {
+				case "Add", "Inc", "Set", "Max", "Observe":
+					// Sanctioned: nil-safe atomic updates, allocation-free.
+				default:
+					pass.Reportf(call.Pos(), "%s: telemetry.%s in a kernel: resolve handles and emit trace events at attach time; only the atomic updates (Add/Inc/Set/Max/Observe) are allocation-free", name, obj.Name())
+				}
 				return
 			}
 			full := obj.Pkg().Path() + "." + obj.Name()

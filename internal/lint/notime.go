@@ -12,16 +12,16 @@ import (
 //   - internal/tensor/rng.go is the one sanctioned randomness source (the
 //     SplitMix64 stream every reproducible init draws from);
 //   - cmd/benchdiff stamps snapshots with the run date — a reporting
-//     concern, not a simulated quantity;
-//   - internal/trace timestamps emitted event logs for humans.
+//     concern, not a simulated quantity.
 //
 // Everything else is replay-deterministic: simulated time advances in
 // cycles, and any wall-clock read would make a re-run diverge from its
-// trace.
+// trace. (internal/trace used to be exempt; it is now internal/workload —
+// the synthetic-data generator — and draws from tensor.RNG like everyone
+// else, so the exemption is gone.)
 var (
 	timeExemptPkgs = map[string]bool{
-		"mptwino/cmd/benchdiff":  true,
-		"mptwino/internal/trace": true,
+		"mptwino/cmd/benchdiff": true,
 	}
 	timeExemptFiles = map[string]bool{
 		"rng.go": true, // only within mptwino/internal/tensor
@@ -31,10 +31,18 @@ var (
 // NoTime flags time.Now/time.Since and math/rand imports outside the
 // exempt list above, protecting replay determinism: the simulator's
 // outputs must be a pure function of its inputs and seeds.
+//
+// The telemetry layer gets the strictest treatment: a package named
+// "telemetry" may not import the time package AT ALL — its tracer stamps
+// events with simulated cycles, and even an unused wall-clock import is a
+// standing invitation to break bit-identical traces. (The rule keys on
+// the package name, not the import path, so the golden testdata suite —
+// whose packages load under a testdata/ path — exercises it too.)
 var NoTime = &Analyzer{
 	Name: "notime",
 	Doc: "flags time.Now/time.Since and math/rand outside " +
-		"internal/tensor/rng.go and the bench/trace tooling (replay determinism)",
+		"internal/tensor/rng.go and the bench tooling, and any time import " +
+		"inside telemetry (replay determinism; cycle-domain tracing)",
 	Run: runNoTime,
 }
 
@@ -42,6 +50,7 @@ func runNoTime(pass *Pass) {
 	if pass.Pkg != nil && timeExemptPkgs[pass.Pkg.Path()] {
 		return
 	}
+	isTelemetry := pass.Pkg != nil && pass.Pkg.Name() == "telemetry"
 	for _, file := range pass.Files {
 		fname := filepath.Base(pass.Fset.Position(file.Pos()).Filename)
 		if timeExemptFiles[fname] && pass.Pkg != nil && pass.Pkg.Path() == "mptwino/internal/tensor" {
@@ -54,6 +63,9 @@ func runNoTime(pass *Pass) {
 			}
 			if path == "math/rand" || path == "math/rand/v2" {
 				pass.Reportf(imp.Pos(), "math/rand outside internal/tensor/rng.go: draw from tensor.RNG so every random stream is seeded and replayable")
+			}
+			if isTelemetry && path == "time" {
+				pass.Reportf(imp.Pos(), "time import in telemetry: trace timestamps are simulated cycles, never wall clock — a time dependency here breaks bit-identical traces")
 			}
 		}
 		ast.Inspect(file, func(n ast.Node) bool {
@@ -71,7 +83,7 @@ func runNoTime(pass *Pass) {
 			}
 			switch obj.Name() {
 			case "Now", "Since", "Until":
-				pass.Reportf(call.Pos(), "time.%s outside bench/trace tooling: simulated quantities must come from cycle counts, not wall clock (replay determinism)", obj.Name())
+				pass.Reportf(call.Pos(), "time.%s outside bench tooling: simulated quantities must come from cycle counts, not wall clock (replay determinism)", obj.Name())
 			}
 			return true
 		})

@@ -28,6 +28,13 @@ func TestNoTime(t *testing.T) {
 	linttest.Run(t, "testdata/src/notime", lint.NoTime)
 }
 
+// The telemetry rule keys on the package name, so a testdata package
+// declaring `package telemetry` exercises the real invariant: no time
+// import at all in the cycle-domain tracing layer.
+func TestNoTimeTelemetry(t *testing.T) {
+	linttest.Run(t, "testdata/src/telemetrytime", lint.NoTime)
+}
+
 func TestFloatOrder(t *testing.T) {
 	linttest.Run(t, "testdata/src/floatorder", lint.FloatOrder)
 }

@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"mptwino/internal/parallel"
+	"mptwino/internal/telemetry"
 )
 
 func scaleInto(dst, src []float64, k float64) {
@@ -84,4 +85,26 @@ func suppressedInto(dst []float64) {
 func badSprintfInto(dst []byte, x int) {
 	s := fmt.Sprintf("%d", x) // want `fmt.Sprintf allocates`
 	copy(dst, s)
+}
+
+// Telemetry's nil-safe atomic updates are the sanctioned way to count work
+// inside a kernel: handles resolved by the caller, bumped in the loop.
+func instrumentedInto(dst, src []float64, flops *telemetry.Counter, occ *telemetry.Gauge, util *telemetry.Histogram) {
+	for i, v := range src {
+		dst[i] = 2 * v
+	}
+	flops.Add(int64(len(src)))
+	flops.Inc()
+	occ.Set(1)
+	occ.Max(int64(len(src)))
+	util.Observe(0.5)
+}
+
+// Everything else in the telemetry API locks or allocates and must stay
+// out of kernel scope: registry lookups, tracer emission.
+func badTelemetryLookupInto(dst []float64, reg *telemetry.Registry, tr *telemetry.Tracer) {
+	reg.Counter("flops").Add(1)                // want `telemetry.Counter in a kernel`
+	reg.Gauge("occ").Set(2)                    // want `telemetry.Gauge in a kernel`
+	tr.Instant(0, 0, "tick", "kernel", 1, nil) // want `telemetry.Instant in a kernel`
+	dst[0] = 1
 }

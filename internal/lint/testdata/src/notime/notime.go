@@ -11,9 +11,9 @@ import (
 )
 
 func wallClock() int64 {
-	t0 := time.Now() // want `time.Now outside bench/trace tooling`
+	t0 := time.Now() // want `time.Now outside bench tooling`
 	_ = rand.Int()
-	d := time.Since(t0) // want `time.Since outside bench/trace tooling`
+	d := time.Since(t0) // want `time.Since outside bench tooling`
 	return int64(d)
 }
 

@@ -1,0 +1,21 @@
+// Package telemetry is the golden testdata for the notime analyzer's
+// telemetry rule: a package named "telemetry" may not import the time
+// package at all — trace timestamps are simulated cycles. (The analyzer
+// keys on the package NAME, so this testdata package emulates the real
+// internal/telemetry even though it loads under a testdata/ import path.)
+package telemetry
+
+import (
+	"time" // want `time import in telemetry`
+)
+
+// Cycles is a cycle-domain timestamp; the wall-clock conversion below is
+// exactly the kind of code the rule exists to keep out.
+type Cycles int64
+
+func wallStamp() Cycles {
+	t := time.Now() // want `time.Now outside bench tooling`
+	return Cycles(t.UnixNano())
+}
+
+var _ = wallStamp

@@ -162,6 +162,31 @@ func FractalNet44() Network {
 	return Network{Name: "FractalNet-4x4", Batch: 256, Layers: layers}
 }
 
+// VGG16 returns the 13 convolution layers of VGG-16 on ImageNet geometry
+// (224² input, five 3×3 stages of widths 64–512) — the canonical
+// Winograd showcase workload (uniform 3×3 kernels, no shortcuts). It is
+// the telemetry walkthrough example (`mptsim -net vgg -trace`), not part
+// of the Table I evaluation set, so AllNetworks excludes it.
+func VGG16() Network {
+	var layers []Layer
+	stages := []struct {
+		in, out, hw, convs int
+	}{
+		{3, 64, 224, 2},
+		{64, 128, 112, 2},
+		{128, 256, 56, 3},
+		{256, 512, 28, 3},
+		{512, 512, 14, 3},
+	}
+	for si, s := range stages {
+		layers = append(layers,
+			conv3(groupName("s", si, "c0"), s.in, s.out, s.hw, 1),
+			conv3(groupName("s", si, "rest"), s.out, s.out, s.hw, s.convs-1),
+		)
+	}
+	return Network{Name: "VGG-16", Batch: 256, Layers: layers}
+}
+
 // AllNetworks returns the three Table I CNNs.
 func AllNetworks() []Network {
 	return []Network{WRN40x10(), ResNet34(), FractalNet44()}

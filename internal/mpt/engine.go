@@ -38,6 +38,7 @@ type Config struct {
 // worker-visible transfer (quantized prediction pre-sends included).
 type Traffic struct {
 	ScatterBytes    int64 // Winograd-domain tiles scattered across groups
+	ScatterRawBytes int64 // scatter volume before zero-skip compression
 	GatherBytes     int64 // Winograd-domain tiles gathered back
 	PredictBytes    int64 // quantized pre-send payloads
 	CollectiveBytes int64 // ring all-reduce traffic (all workers, one way)
@@ -150,13 +151,19 @@ func shard(x *tensor.Tensor, lo, hi int) *tensor.Tensor {
 // countScatter charges tile-scattering traffic for one cluster's Domain:
 // each of the Ng workers keeps its own 1/Ng of the rows' elements and
 // sends the rest, so (Ng−1)/Ng of the domain crosses the cluster fabric.
-// With zero-skipping only non-zero values pay.
+// With zero-skipping only non-zero values pay; ScatterRawBytes keeps the
+// uncompressed volume so the compression ratio stays observable.
 func (e *Engine) countScatter(d *winograd.Domain) {
 	if e.Cfg.Ng <= 1 {
 		return
 	}
-	var values int64
+	var raw int64
+	for _, el := range d.El {
+		raw += int64(len(el.Data))
+	}
+	values := raw
 	if e.Cfg.ZeroSkip {
+		values = 0
 		for _, el := range d.El {
 			for _, v := range el.Data {
 				if v != 0 {
@@ -164,12 +171,9 @@ func (e *Engine) countScatter(d *winograd.Domain) {
 				}
 			}
 		}
-	} else {
-		for _, el := range d.El {
-			values += int64(len(el.Data))
-		}
 	}
 	e.Traffic.ScatterBytes += 4 * values * int64(e.Cfg.Ng-1) / int64(e.Cfg.Ng)
+	e.Traffic.ScatterRawBytes += 4 * raw * int64(e.Cfg.Ng-1) / int64(e.Cfg.Ng)
 }
 
 // countGather charges tile-gathering traffic for one cluster's output

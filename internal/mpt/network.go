@@ -17,6 +17,10 @@ type Net struct {
 	Cfg     Config
 	Engines []*Engine
 	masks   [][]bool // ReLU masks per hidden layer, from the last forward
+
+	// telemetry handles + logical step clock (zero value = disabled; see
+	// Instrument in telemetry.go)
+	tel netTel
 }
 
 // NewNet builds engines for each geometry in params; layer i's output
@@ -118,7 +122,11 @@ func (n *Net) TrainStepMSE(x, target *tensor.Tensor, lr float32) (float64, error
 	for _, v := range dy.Data {
 		loss += 0.5 * float64(v) * float64(v)
 	}
-	return loss, n.Backward(dy, lr)
+	if err := n.Backward(dy, lr); err != nil {
+		return 0, err
+	}
+	n.recordStep()
+	return loss, nil
 }
 
 // TotalTraffic sums the engines' traffic counters.
@@ -126,6 +134,7 @@ func (n *Net) TotalTraffic() Traffic {
 	var t Traffic
 	for _, e := range n.Engines {
 		t.ScatterBytes += e.Traffic.ScatterBytes
+		t.ScatterRawBytes += e.Traffic.ScatterRawBytes
 		t.GatherBytes += e.Traffic.GatherBytes
 		t.PredictBytes += e.Traffic.PredictBytes
 		t.CollectiveBytes += e.Traffic.CollectiveBytes

@@ -54,6 +54,8 @@ func (n *Net) Checkpoint() *NetCheckpoint {
 	for _, e := range n.Engines {
 		cp.weights = append(cp.weights, e.Checkpoint())
 	}
+	n.tel.checkpoints.Inc()
+	n.event("checkpoint", map[string]any{"layers": len(n.Engines)})
 	return cp
 }
 
@@ -68,6 +70,8 @@ func (n *Net) Restore(cp *NetCheckpoint) error {
 		e.Restore(cp.weights[i])
 	}
 	n.masks = n.masks[:0]
+	n.tel.restores.Inc()
+	n.event("restore", map[string]any{"layers": len(n.Engines)})
 	return nil
 }
 
@@ -86,5 +90,7 @@ func (n *Net) Reconfigure(ng, nc int) error {
 	}
 	n.Cfg.Ng, n.Cfg.Nc = ng, nc
 	n.masks = n.masks[:0]
+	n.tel.reconfigs.Inc()
+	n.event("reconfigure", map[string]any{"ng": ng, "nc": nc})
 	return nil
 }

@@ -1,0 +1,103 @@
+package mpt
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"mptwino/internal/parallel"
+	"mptwino/internal/telemetry"
+	"mptwino/internal/tensor"
+	"mptwino/internal/winograd"
+)
+
+// TestNetTelemetryDeterministicAcrossWorkers trains an instrumented
+// network — prediction and zero-skip on, with a checkpoint/reconfigure/
+// restore cycle in the middle — at worker counts {1, 2, 8} and asserts
+// the metrics snapshot and exported trace bytes are identical. The MPT
+// trace clock is the training-step index and every emission sits on the
+// sequential driver path, so the whole surface must be schedule-free.
+func TestNetTelemetryDeterministicAcrossWorkers(t *testing.T) {
+	run := func(workers int) (map[string]int64, []byte) {
+		t.Helper()
+		prev := parallel.SetDefaultWorkers(workers)
+		defer parallel.SetDefaultWorkers(prev)
+		reg := telemetry.NewRegistry()
+		trc := telemetry.NewTracer()
+		// parallel.Attach is deliberately absent: the engine-usage counters
+		// measure actual fan-out entries, and the winograd Into kernels
+		// bypass the engine entirely on the closure-free one-slot path
+		// (scratch.go), so those counts vary with the worker count by
+		// design. Everything attached here is model-visible and must not.
+		tensor.Attach(reg)
+		defer tensor.Attach(nil)
+
+		rng := tensor.NewRNG(7)
+		net, err := NewNet(winograd.F2x2_3x3, chainParams(),
+			Config{Ng: 4, Nc: 2, Predict: true, ZeroSkip: true}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		net.Instrument(reg, trc)
+
+		x := tensor.New(4, 2, 8, 8)
+		rng.FillNormal(x, 0, 1)
+		target := tensor.New(4, 2, 8, 8)
+		rng.FillNormal(target, 0, 1)
+
+		step := func() {
+			if _, err := net.TrainStepMSE(x, target, 0.01); err != nil {
+				t.Fatal(err)
+			}
+		}
+		step()
+		step()
+		cp := net.Checkpoint()
+		if err := net.Reconfigure(2, 4); err != nil {
+			t.Fatal(err)
+		}
+		step()
+		if err := net.Restore(cp); err != nil {
+			t.Fatal(err)
+		}
+		step()
+
+		var buf bytes.Buffer
+		if err := trc.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return reg.Snapshot(), buf.Bytes()
+	}
+
+	refSnap, refTrace := run(1)
+
+	// Sanity: four steps, one of each lifecycle event, real traffic.
+	for name, want := range map[string]int64{
+		"mpt.steps": 4, "mpt.checkpoints": 1, "mpt.restores": 1, "mpt.reconfigs": 1,
+	} {
+		if got := refSnap[name]; got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+	if refSnap["mpt.collective_bytes"] == 0 {
+		t.Error("mpt.collective_bytes = 0, want ring all-reduce traffic")
+	}
+	if raw, c := refSnap["mpt.scatter_raw_bytes"], refSnap["mpt.scatter_bytes"]; raw < c || raw == 0 {
+		t.Errorf("zero-skip compression inverted: scatter_raw_bytes %d < scatter_bytes %d", raw, c)
+	}
+	if refSnap["tensor.gemm_flops"] == 0 {
+		t.Error("tensor.gemm_flops = 0, want counted element GEMMs")
+	}
+
+	for _, workers := range []int{2, 8} {
+		snap, trace := run(workers)
+		if !reflect.DeepEqual(refSnap, snap) {
+			t.Errorf("workers=%d: metrics snapshot differs from workers=1:\nref: %v\ngot: %v",
+				workers, refSnap, snap)
+		}
+		if !bytes.Equal(refTrace, trace) {
+			t.Errorf("workers=%d: trace bytes differ from workers=1 (%d vs %d bytes)",
+				workers, len(refTrace), len(trace))
+		}
+	}
+}

@@ -6,8 +6,8 @@ import (
 
 	"mptwino/internal/conv"
 	"mptwino/internal/tensor"
-	"mptwino/internal/trace"
 	"mptwino/internal/winograd"
+	"mptwino/internal/workload"
 )
 
 func TestMaxPool2ForwardBackward(t *testing.T) {
@@ -171,7 +171,7 @@ func TestResidualSkipGradient(t *testing.T) {
 // dense) must learn the quadrant task, exercising every block together.
 func TestResidualCNNTrains(t *testing.T) {
 	rng := tensor.NewRNG(13)
-	ds := trace.QuadrantBlobs(64, 1, 8, 8, 101)
+	ds := workload.QuadrantBlobs(64, 1, 8, 8, 101)
 	p0 := conv.Params{In: 1, Out: 4, K: 3, Pad: 1, H: 8, W: 8}
 	pr := conv.Params{In: 4, Out: 4, K: 3, Pad: 1, H: 8, W: 8}
 	stem, err := NewWinoConv(winograd.F2x2_3x3, p0, rng)

@@ -6,8 +6,8 @@ import (
 
 	"mptwino/internal/conv"
 	"mptwino/internal/tensor"
-	"mptwino/internal/trace"
 	"mptwino/internal/winograd"
+	"mptwino/internal/workload"
 )
 
 func TestReLUForwardBackward(t *testing.T) {
@@ -166,7 +166,7 @@ func TestWinoConvMatchesConvForward(t *testing.T) {
 func trainCNN(t *testing.T, useWinograd bool) float64 {
 	t.Helper()
 	rng := tensor.NewRNG(11)
-	ds := trace.QuadrantBlobs(64, 1, 8, 8, 42)
+	ds := workload.QuadrantBlobs(64, 1, 8, 8, 42)
 	p := conv.Params{In: 1, Out: 4, K: 3, Pad: 1, H: 8, W: 8}
 
 	var convLayer Layer
@@ -263,7 +263,7 @@ func TestJoinModesEquivalent(t *testing.T) {
 func TestFractalTrainingCurvesMatch(t *testing.T) {
 	p := conv.Params{In: 1, Out: 4, K: 3, Pad: 1, H: 8, W: 8}
 	rng := tensor.NewRNG(23)
-	ds := trace.QuadrantBlobs(32, 1, 8, 8, 77)
+	ds := workload.QuadrantBlobs(32, 1, 8, 8, 77)
 
 	build := func(mode JoinMode, seed uint64) (*FractalBlock, *Sequential) {
 		r := tensor.NewRNG(seed)
@@ -301,7 +301,7 @@ func trainStep(blk *FractalBlock, head *Sequential, x *tensor.Tensor, labels []i
 }
 
 func TestTraceDataset(t *testing.T) {
-	ds := trace.QuadrantBlobs(20, 2, 8, 8, 1)
+	ds := workload.QuadrantBlobs(20, 2, 8, 8, 1)
 	if ds.Images.N != 20 || ds.Classes != 4 {
 		t.Fatal("dataset shape wrong")
 	}
@@ -326,7 +326,7 @@ func TestTraceDataset(t *testing.T) {
 }
 
 func TestGaussianImages(t *testing.T) {
-	imgs := trace.GaussianImages(4, 3, 8, 8, 1.0, 2.0, 9)
+	imgs := workload.GaussianImages(4, 3, 8, 8, 1.0, 2.0, 9)
 	if imgs.N != 4 || imgs.C != 3 {
 		t.Fatal("shape wrong")
 	}

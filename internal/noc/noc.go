@@ -17,6 +17,7 @@ import (
 
 	"mptwino/internal/fault"
 	"mptwino/internal/parallel"
+	"mptwino/internal/telemetry"
 	"mptwino/internal/topology"
 )
 
@@ -202,6 +203,9 @@ type Network struct {
 	FlitHops     int64
 	DroppedFlits int64
 	Retransmits  int64
+
+	// telemetry handles (zero value = disabled; see Instrument)
+	tel instruments
 }
 
 // New builds a network simulator over graph g. It panics on an invalid
@@ -282,6 +286,11 @@ func (n *Network) FailNode(v int) {
 		return
 	}
 	n.failed[v] = true
+	n.tel.failures.Inc()
+	if n.tel.tracer.Enabled() {
+		n.tel.tracer.Instant(telemetry.PIDNoC, v, "node_failure", "noc.fault", n.now,
+			map[string]any{"node": v})
+	}
 	// Work on a private copy of the topology the first time it mutates, so
 	// callers' graphs (shared with co-simulators and figures) stay pristine.
 	if !n.ownsGraph {
@@ -320,6 +329,7 @@ func (n *Network) dropForFailure(f flit, v int) {
 		return
 	}
 	n.DroppedFlits++
+	n.tel.dropped.Inc()
 	if m.Src == v || m.Dst == v {
 		n.markLost(m, fmt.Sprintf("module %d failed", v))
 		return
@@ -389,6 +399,11 @@ func (n *Network) markLost(m *Message, why string) {
 	m.lossWhy = why
 	m.droppedBytes = 0
 	n.lost = append(n.lost, m)
+	n.tel.lost.Inc()
+	if n.tel.tracer.Enabled() {
+		n.tel.tracer.Instant(telemetry.PIDNoC, m.Src, "message_lost", "noc.fault", n.now,
+			map[string]any{"id": m.ID, "dst": m.Dst, "why": why})
+	}
 }
 
 // processRetries fires due retransmit timers: a message with dropped bytes
@@ -424,6 +439,11 @@ func (n *Network) processRetries() {
 		}
 		m.Retries++
 		n.Retransmits++
+		n.tel.retransmits.Inc()
+		if n.tel.tracer.Enabled() {
+			n.tel.tracer.Instant(telemetry.PIDNoC, m.Src, "retransmit", "noc.fault", n.now,
+				map[string]any{"id": m.ID, "dst": m.Dst, "bytes": m.droppedBytes, "retry": m.Retries})
+		}
 		n.enqueueFlits(m, m.droppedBytes, hop)
 		m.droppedBytes = 0
 	}
@@ -626,6 +646,7 @@ func (n *Network) idle() bool {
 func (n *Network) step(d Driver) {
 	n.ensurePool()
 	n.now++
+	n.tel.cycles.Inc()
 
 	// 0. Fire scheduled module failures and due retransmit timers. Both
 	// mutate global routing/retry state, so this stage stays sequential.
@@ -711,6 +732,7 @@ func (n *Network) deliverFlit(d Driver, f flit) {
 	if m.receivedBytes >= m.Bytes && !m.delivered {
 		m.delivered = true
 		m.DeliveredAt = n.now
+		n.tel.delivered.Inc()
 		d.OnDeliver(n, m)
 	}
 }
@@ -747,6 +769,7 @@ func (n *Network) stats() Stats {
 				continue
 			}
 			u := float64(l.busyFlits) / (float64(n.now) * float64(l.flitsPerCyc))
+			n.tel.linkUtil.Observe(u)
 			sum += u
 			active++
 			if u > s.MaxLinkUtil {
@@ -757,5 +780,6 @@ func (n *Network) stats() Stats {
 			s.MeanLinkUtil = sum / float64(active)
 		}
 	}
+	n.traceMessages()
 	return s
 }

@@ -221,9 +221,12 @@ func (n *Network) transmitLink(li int, sc *stepScratch) {
 func (n *Network) applyTransmit(sc *stepScratch) {
 	n.FlitHops += sc.flitHops
 	n.DroppedFlits += sc.dropped
+	n.tel.flitHops.Add(sc.flitHops)
+	n.tel.dropped.Add(sc.dropped)
 	for class, b := range sc.bytesByClass {
 		if b != 0 {
 			n.BytesByClass[topology.LinkClass(class)] += b
+			n.tel.bytesClass[class].Add(b)
 		}
 	}
 	for _, ev := range sc.drops {

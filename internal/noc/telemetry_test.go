@@ -1,0 +1,76 @@
+package noc
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"mptwino/internal/fault"
+	"mptwino/internal/telemetry"
+	"mptwino/internal/topology"
+)
+
+// TestTelemetryDeterministicAcrossShardWorkers runs an instrumented
+// all-to-all with link faults (so drop/retransmit paths fire) at shard
+// worker counts {1, 2, 8} and asserts the metrics snapshot and exported
+// trace bytes are identical. Every emission site is sequential or a
+// post-barrier fold, so the whole surface must be shard-count-free.
+func TestTelemetryDeterministicAcrossShardWorkers(t *testing.T) {
+	members := make([]int, 16)
+	for i := range members {
+		members[i] = i
+	}
+	run := func(workers int) (map[string]int64, []byte) {
+		t.Helper()
+		cfg := DefaultConfig()
+		cfg.ShardWorkers = workers
+		n := New(topology.FBFly2D(4), cfg)
+		plan := fault.NewPlan(42).
+			DegradeLink(0, 1, 0, 0, 0.25, 10).
+			DropOnLink(2, 3, 0, 5000, 0.2)
+		if err := n.AttachFaults(plan); err != nil {
+			t.Fatal(err)
+		}
+		reg := telemetry.NewRegistry()
+		trc := telemetry.NewTracer()
+		n.Instrument(reg, trc)
+		if _, err := n.Run(&AllToAll{Members: members, Bytes: 1024}, 50_000_000); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		var buf bytes.Buffer
+		if err := trc.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return reg.Snapshot(), buf.Bytes()
+	}
+
+	refSnap, refTrace := run(1)
+
+	// Sanity: the run did real work and the faulty links actually dropped.
+	for _, name := range []string{
+		"noc.cycles", "noc.flit_hops", "noc.messages_delivered",
+		"noc.dropped_flits", "noc.retransmits", "noc.bytes.narrow",
+	} {
+		if refSnap[name] == 0 {
+			t.Errorf("%s = 0, want nonzero", name)
+		}
+	}
+	if got, want := refSnap["noc.messages_delivered"], int64(16*15); got != want {
+		t.Errorf("noc.messages_delivered = %d, want %d (all-to-all over 16 members)", got, want)
+	}
+	if !bytes.Contains(refTrace, []byte(`"noc.msg"`)) {
+		t.Error("trace contains no message spans")
+	}
+
+	for _, workers := range []int{2, 8} {
+		snap, trace := run(workers)
+		if !reflect.DeepEqual(refSnap, snap) {
+			t.Errorf("workers=%d: metrics snapshot differs from workers=1:\nref: %v\ngot: %v",
+				workers, refSnap, snap)
+		}
+		if !bytes.Equal(refTrace, trace) {
+			t.Errorf("workers=%d: trace bytes differ from workers=1 (%d vs %d bytes)",
+				workers, len(refTrace), len(trace))
+		}
+	}
+}

@@ -101,6 +101,7 @@ func ForEach(workers, n int, fn func(i int)) {
 	if n <= 0 {
 		return
 	}
+	countFanout(n)
 	w := Workers(workers, n)
 	if w == 1 {
 		for i := 0; i < n; i++ {
@@ -147,6 +148,7 @@ func ForEachWorker(workers, n int, fn func(worker, item int)) {
 	if n <= 0 {
 		return
 	}
+	countFanout(n)
 	w := Workers(workers, n)
 	if w == 1 {
 		for i := 0; i < n; i++ {
@@ -191,6 +193,7 @@ func ForEachErr(workers, n int, fn func(i int) error) error {
 	if n <= 0 {
 		return nil
 	}
+	countFanout(n)
 	w := Workers(workers, n)
 	if w == 1 {
 		for i := 0; i < n; i++ {

@@ -19,6 +19,7 @@ func NewPool(workers int) *Pool {
 	if workers < 1 {
 		workers = 1
 	}
+	gaugePool.Load().Max(int64(workers))
 	p := &Pool{ch: make([]chan func(int), workers)}
 	p.wg.Add(workers)
 	for i := range p.ch {
@@ -41,6 +42,7 @@ func (p *Pool) Workers() int { return len(p.ch) }
 // returns when all shards complete (a full barrier). A panic in any shard
 // re-raises on the caller (lowest shard index wins) after the barrier.
 func (p *Pool) Run(fn func(shard int)) {
+	ctrBarriers.Load().Inc()
 	var (
 		wg sync.WaitGroup
 		pb panicBox

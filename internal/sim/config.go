@@ -14,6 +14,7 @@ import (
 	"mptwino/internal/energy"
 	"mptwino/internal/ndp"
 	"mptwino/internal/parallel"
+	"mptwino/internal/telemetry"
 )
 
 // SystemConfig enumerates Table IV.
@@ -111,6 +112,15 @@ type System struct {
 
 	// ChunkBytes is the collective packet size (256 B).
 	ChunkBytes int
+
+	// Metrics and Trace attach the deterministic telemetry layer (nil =
+	// disabled, the default). Counters are atomic sums bumped from the
+	// sweep's worker goroutines (order-independent, so totals are
+	// bit-identical at any Parallel setting); trace spans are emitted only
+	// from the index-ordered assembly fold, with timestamps in simulated
+	// cycles at NDP.ClockHz. See internal/telemetry and DESIGN.md §10.
+	Metrics *telemetry.Registry
+	Trace   *telemetry.Tracer
 }
 
 // DefaultSystem returns the paper's 256-worker evaluation machine.

@@ -6,6 +6,7 @@ import (
 
 	"mptwino/internal/comm"
 	"mptwino/internal/model"
+	"mptwino/internal/telemetry"
 	"mptwino/internal/winograd"
 )
 
@@ -82,8 +83,24 @@ func (s System) SimulateNetworkWithFailure(net model.Network, c SystemConfig, fa
 	res.Degraded = ds.SimulateNetwork(net, c)
 
 	res.ReconfigSec = rewireSec + s.reshardSeconds(net, c, res.Degraded)
+	if s.Trace.Enabled() {
+		// The recovery lane: one span covering the one-time reconfiguration
+		// (rewire + weight re-shard), starting where the healthy iteration
+		// ended on the timeline.
+		start := int64(res.Healthy.IterationSec * s.NDP.ClockHz)
+		s.Trace.NameThread(telemetry.PIDSim, recoveryTID, "recovery")
+		s.Trace.Span(telemetry.PIDSim, recoveryTID, "reconfigure", "sim.fault",
+			start, int64(res.ReconfigSec*s.NDP.ClockHz), map[string]any{
+				"survivors": survivors, "failed": len(uniq),
+			})
+	}
+	s.Metrics.Counter("sim.reconfigs").Inc()
 	return res, nil
 }
+
+// recoveryTID is the trace thread row for fault-recovery events, clear of
+// the per-config rows (tid = int(SystemConfig)).
+const recoveryTID = 100
 
 // reshardSeconds prices the weight redistribution a wiring change implies:
 // each surviving worker streams its new per-layer weight shard (the

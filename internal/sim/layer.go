@@ -53,6 +53,23 @@ type LayerResult struct {
 	Energy      energy.Breakdown // whole system
 	DRAMBytes   int64            // per worker, whole iteration
 	NetBytes    int64            // per worker, whole iteration (all fabrics)
+
+	// TileBytes / CollBytes split the per-worker traffic by fabric: tile
+	// scatter/gather on the cluster FBFLY vs. the weight-gradient ring
+	// collective — the split behind the paper's Fig. 15 discussion.
+	TileBytes int64
+	CollBytes int64
+
+	// Menu records every (Ng, Nc) candidate a dynamic-clustering config
+	// evaluated for this layer (empty for fixed-grid configs). The chosen
+	// entry is the earliest with the strictly smallest total time.
+	Menu []MenuCell
+}
+
+// MenuCell is one evaluated dynamic-clustering candidate.
+type MenuCell struct {
+	Ng, Nc   int
+	TotalSec float64
 }
 
 // TotalSec returns forward+backward time.
@@ -161,11 +178,18 @@ func (s System) SimulateLayer(l model.Layer, batch int, c SystemConfig) LayerRes
 			st, tr := comm.StrategyFor(menu[i], l.P.K, c.usesPrediction(), s.Reductions)
 			return s.simulateWithStrategy(l, batch, c, st, tr)
 		})
+		s.Metrics.Counter("sim.menu_cells").Add(int64(len(menu)))
 		best := results[0]
 		for _, r := range results[1:] {
 			if r.TotalSec() < best.TotalSec() {
 				best = r
 			}
+		}
+		// Record the evaluated sweep on the winner so observability layers
+		// can show WHY this (Ng, Nc) won (trace args, -metrics dumps).
+		best.Menu = make([]MenuCell, len(results))
+		for i, r := range results {
+			best.Menu[i] = MenuCell{Ng: r.Ng, Nc: r.Nc, TotalSec: r.TotalSec()}
 		}
 		return best
 	}
@@ -190,7 +214,9 @@ func (s System) simulateWithStrategy(l model.Layer, batch int, c SystemConfig, s
 	res.Forward = fwd.breakdown()
 	res.Backward = bwd.breakdown()
 	res.DRAMBytes = fwd.dramBytes + bwd.dramBytes
-	res.NetBytes = fwd.tileCommBytes + fwd.collBytes + bwd.tileCommBytes + bwd.collBytes
+	res.TileBytes = fwd.tileCommBytes + bwd.tileCommBytes
+	res.CollBytes = fwd.collBytes + bwd.collBytes
+	res.NetBytes = res.TileBytes + res.CollBytes
 
 	res.Energy = s.energyOf(fwd, res.ForwardSec, c, st)
 	res.Energy.Add(s.energyOf(bwd, res.BackwardSec, c, st))

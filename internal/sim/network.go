@@ -44,11 +44,13 @@ func (s System) assembleNetwork(net model.Network, c SystemConfig, layers []Laye
 		res.IterationSec += lr.TotalSec() * rep
 		res.Energy.Add(lr.Energy.Scale(rep))
 		res.Layers = append(res.Layers, lr)
+		s.countLayer(lr)
 	}
 	if res.IterationSec > 0 {
 		res.ImagesPerSec = float64(net.Batch) / res.IterationSec
 		res.PowerW = res.Energy.Total() / res.IterationSec
 	}
+	s.traceNetwork(net, c, res)
 	return res
 }
 

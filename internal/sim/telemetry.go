@@ -1,0 +1,64 @@
+package sim
+
+import (
+	"fmt"
+
+	"mptwino/internal/model"
+	"mptwino/internal/telemetry"
+)
+
+// Telemetry emission for the system simulator. Counters are bumped from
+// the parallel sweep's goroutines (atomic sums — order-independent, so
+// identical at any worker count); trace spans are emitted only from
+// assembleNetwork's index-ordered fold, the one place per-layer results
+// pass through sequentially. Timestamps are simulated cycles at
+// NDP.ClockHz, laid out as consecutive fwd/bwd spans per layer — one
+// iteration per layer, with the Repeat multiplier reported in span args
+// rather than unrolled (a 40-deep WRN stays readable on the timeline).
+
+// countLayer mirrors one simulated layer's traffic into the registry.
+func (s System) countLayer(lr LayerResult) {
+	if s.Metrics == nil {
+		return
+	}
+	s.Metrics.Counter("sim.layers").Inc()
+	s.Metrics.Counter("sim.tile_bytes").Add(lr.TileBytes)
+	s.Metrics.Counter("sim.coll_bytes").Add(lr.CollBytes)
+	s.Metrics.Counter("sim.dram_bytes").Add(lr.DRAMBytes)
+}
+
+// traceNetwork emits the per-layer phase spans of one assembled network
+// result into the telemetry.PIDSim lane, one thread row per system config.
+func (s System) traceNetwork(net model.Network, c SystemConfig, res NetworkResult) {
+	tr := s.Trace
+	if !tr.Enabled() {
+		return
+	}
+	tid := int(c)
+	tr.NameProcess(telemetry.PIDSim, "sim")
+	tr.NameThread(telemetry.PIDSim, tid, "config "+c.String())
+	var t int64
+	for i, lr := range res.Layers {
+		rep := net.Layers[i].EffectiveRepeat()
+		fwd := int64(lr.ForwardSec * s.NDP.ClockHz)
+		bwd := int64(lr.BackwardSec * s.NDP.ClockHz)
+		if len(lr.Menu) > 0 {
+			args := make(map[string]any, len(lr.Menu))
+			for _, cell := range lr.Menu {
+				args[fmt.Sprintf("%dx%d_sec", cell.Ng, cell.Nc)] = cell.TotalSec
+			}
+			tr.Instant(telemetry.PIDSim, tid, lr.Name+" menu", "sim.menu", t, args)
+		}
+		tr.Span(telemetry.PIDSim, tid, lr.Name+" fwd", "sim.phase", t, fwd, map[string]any{
+			"config": c.String(), "ng": lr.Ng, "nc": lr.Nc, "repeat": rep,
+			"binding": lr.Forward.Binding(),
+		})
+		t += fwd
+		tr.Span(telemetry.PIDSim, tid, lr.Name+" bwd", "sim.phase", t, bwd, map[string]any{
+			"config": c.String(), "ng": lr.Ng, "nc": lr.Nc, "repeat": rep,
+			"binding":    lr.Backward.Binding(),
+			"tile_bytes": lr.TileBytes, "coll_bytes": lr.CollBytes,
+		})
+		t += bwd
+	}
+}

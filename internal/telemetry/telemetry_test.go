@@ -1,0 +1,251 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+// Every instrument and the registry itself must be callable through nil —
+// that is the entire disabled path.
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	g := r.Gauge("y")
+	h := r.Histogram("z", 1, 2)
+	if c != nil || g != nil || h != nil {
+		t.Fatalf("nil registry must hand out nil instruments")
+	}
+	c.Add(5)
+	c.Inc()
+	g.Set(3)
+	g.Max(9)
+	h.Observe(0.5)
+	if c.Load() != 0 || g.Load() != 0 || h.Total() != 0 {
+		t.Fatalf("nil instruments must read zero")
+	}
+	if b, cnt := h.Buckets(); b != nil || cnt != nil {
+		t.Fatalf("nil histogram buckets must be nil")
+	}
+	if got := r.Snapshot(); len(got) != 0 {
+		t.Fatalf("nil registry snapshot = %v, want empty", got)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil || buf.Len() != 0 {
+		t.Fatalf("nil registry WriteText: err=%v len=%d", err, buf.Len())
+	}
+
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Fatalf("nil tracer must report disabled")
+	}
+	tr.Span(0, 0, "s", "c", 0, 10, nil)
+	tr.Instant(0, 0, "i", "c", 5, nil)
+	tr.CounterSample(0, 0, "n", 1, nil)
+	tr.NameProcess(0, "p")
+	tr.NameThread(0, 0, "t")
+	if tr.Len() != 0 {
+		t.Fatalf("nil tracer recorded events")
+	}
+	buf.Reset()
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatalf("nil tracer WriteJSON: %v", err)
+	}
+	var doc Trace
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("nil tracer emitted invalid JSON: %v", err)
+	}
+	if doc.TraceEvents == nil || len(doc.TraceEvents) != 0 {
+		t.Fatalf("nil tracer must export an empty (non-null) event array")
+	}
+}
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("flits")
+	c.Add(3)
+	c.Inc()
+	if c.Load() != 4 {
+		t.Fatalf("counter = %d, want 4", c.Load())
+	}
+	if r.Counter("flits") != c {
+		t.Fatalf("second lookup must return the same counter")
+	}
+
+	g := r.Gauge("occ")
+	g.Set(2)
+	g.Max(7)
+	g.Max(5) // lower: no effect
+	if g.Load() != 7 {
+		t.Fatalf("gauge = %d, want 7", g.Load())
+	}
+
+	h := r.Histogram("util", 0.5, 1.0)
+	h.Observe(0.2)  // bucket le0.5
+	h.Observe(0.75) // bucket le1
+	h.Observe(2.0)  // overflow
+	bounds, counts := h.Buckets()
+	if len(bounds) != 2 || len(counts) != 3 {
+		t.Fatalf("buckets: bounds=%v counts=%v", bounds, counts)
+	}
+	if counts[0] != 1 || counts[1] != 1 || counts[2] != 1 || h.Total() != 3 {
+		t.Fatalf("bucket counts = %v (total %d)", counts, h.Total())
+	}
+
+	snap := r.Snapshot()
+	want := map[string]int64{
+		"flits": 4, "occ": 7,
+		"util.count": 3, "util.le0.5": 1, "util.le1": 1, "util.leInf": 1,
+	}
+	for k, v := range want {
+		if snap[k] != v {
+			t.Errorf("snapshot[%q] = %d, want %d", k, snap[k], v)
+		}
+	}
+	if len(snap) != len(want) {
+		t.Errorf("snapshot has %d keys, want %d: %v", len(snap), len(want), snap)
+	}
+}
+
+// Atomic updates from many goroutines must fold to the same totals and the
+// same serialized bytes regardless of schedule.
+func TestConcurrentUpdatesDeterministicDump(t *testing.T) {
+	dump := func(workers int) []byte {
+		r := NewRegistry()
+		c := r.Counter("n")
+		g := r.Gauge("max")
+		h := r.Histogram("u") // default bounds
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := 0; i < 1000; i++ {
+					c.Add(2)
+					g.Max(int64(i))
+					h.Observe(float64(i%10) / 10)
+				}
+			}(w)
+		}
+		wg.Wait()
+		var buf bytes.Buffer
+		if err := r.WriteJSON(&buf); err != nil {
+			t.Fatalf("WriteJSON: %v", err)
+		}
+		return buf.Bytes()
+	}
+	// Same total work split across different worker counts.
+	one := dump(1)
+	for _, w := range []int{2, 8} {
+		r := NewRegistry()
+		c := r.Counter("n")
+		g := r.Gauge("max")
+		h := r.Histogram("u")
+		var wg sync.WaitGroup
+		per := 1000 / w
+		for i := 0; i < w; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for j := 0; j < per; j++ {
+					c.Add(2)
+					g.Max(999)
+					h.Observe(0.35)
+				}
+			}()
+		}
+		wg.Wait()
+		if c.Load() != int64(2*per*w) {
+			t.Fatalf("workers=%d: counter=%d", w, c.Load())
+		}
+		if g.Load() != 999 {
+			t.Fatalf("workers=%d: gauge=%d", w, g.Load())
+		}
+		if h.Total() != int64(per*w) {
+			t.Fatalf("workers=%d: histogram total=%d", w, h.Total())
+		}
+	}
+	// Identical single-goroutine runs must serialize identically.
+	if !bytes.Equal(one, dump(1)) {
+		t.Fatalf("identical runs produced different JSON")
+	}
+}
+
+func TestWriteTextSorted(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("zeta").Add(1)
+	r.Counter("alpha").Add(2)
+	r.Gauge("mid").Set(3)
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
+	got := buf.String()
+	if !(bytes.Contains(buf.Bytes(), []byte("alpha")) &&
+		bytes.Index(buf.Bytes(), []byte("alpha")) < bytes.Index(buf.Bytes(), []byte("mid")) &&
+		bytes.Index(buf.Bytes(), []byte("mid")) < bytes.Index(buf.Bytes(), []byte("zeta"))) {
+		t.Fatalf("WriteText not sorted:\n%s", got)
+	}
+}
+
+// The tracer's export must put metadata first, sort spans by (pid, tid,
+// ts) with stable order for ties, and produce byte-identical JSON for the
+// same logical event stream emitted in a different interleaving across
+// lanes.
+func TestTracerCanonicalExport(t *testing.T) {
+	build := func(order []int) []byte {
+		tr := NewTracer()
+		tr.NameProcess(1, "sim")
+		tr.NameThread(1, 0, "layers")
+		// Three events across two lanes; `order` permutes emission.
+		evs := []func(){
+			func() { tr.Span(1, 0, "conv1", "layer", 0, 100, map[string]any{"ng": 4, "nc": 2}) },
+			func() { tr.Span(1, 0, "conv2", "layer", 100, 50, nil) },
+			func() { tr.Instant(1, 1, "fault", "noc", 30, map[string]any{"node": 3}) },
+		}
+		for _, i := range order {
+			evs[i]()
+		}
+		var buf bytes.Buffer
+		if err := tr.WriteJSON(&buf); err != nil {
+			t.Fatalf("WriteJSON: %v", err)
+		}
+		return buf.Bytes()
+	}
+	a := build([]int{0, 1, 2})
+	b := build([]int{2, 0, 1}) // different lane interleaving, same per-lane order
+	if !bytes.Equal(a, b) {
+		t.Fatalf("per-lane-order-preserving interleavings must serialize identically\n--- a ---\n%s\n--- b ---\n%s", a, b)
+	}
+
+	var doc Trace
+	if err := json.Unmarshal(a, &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != 5 {
+		t.Fatalf("got %d events, want 5", len(doc.TraceEvents))
+	}
+	if doc.TraceEvents[0].Ph != "M" || doc.TraceEvents[1].Ph != "M" {
+		t.Fatalf("metadata events must come first: %+v", doc.TraceEvents[:2])
+	}
+	if doc.TraceEvents[2].Name != "conv1" || doc.TraceEvents[3].Name != "conv2" || doc.TraceEvents[4].Name != "fault" {
+		t.Fatalf("events not in (pid,tid,ts) order: %+v", doc.TraceEvents[2:])
+	}
+}
+
+func BenchmarkCounterAddDisabled(b *testing.B) {
+	var c *Counter
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+}
+
+func BenchmarkCounterAddEnabled(b *testing.B) {
+	c := NewRegistry().Counter("x")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+}

@@ -159,6 +159,7 @@ func MatMulIntoScratch(dst, a, b *Mat, s *GemmScratch) {
 		panic(fmt.Sprintf("tensor: matmul shape error dst %dx%d = %dx%d · %dx%d",
 			dst.Rows, dst.Cols, a.Rows, a.Cols, b.Rows, b.Cols))
 	}
+	countGemm(dst.Rows, dst.Cols, a.Cols)
 	if smallGemm(dst.Rows, dst.Cols, a.Cols) {
 		MatMulNaiveInto(dst, a, b)
 		return
@@ -181,6 +182,7 @@ func MatMulNTInto(dst, a, b *Mat) {
 //mptlint:noalloc
 func MatMulNTIntoScratch(dst, a, b *Mat, s *GemmScratch) {
 	checkNT(dst, a, b)
+	countGemm(dst.Rows, dst.Cols, a.Cols)
 	if smallGemm(dst.Rows, dst.Cols, a.Cols) {
 		MatMulNTNaiveInto(dst, a, b)
 		return
@@ -203,6 +205,7 @@ func MatMulTNInto(dst, a, b *Mat) {
 //mptlint:noalloc
 func MatMulTNIntoScratch(dst, a, b *Mat, s *GemmScratch) {
 	checkTN(dst, a, b)
+	countGemm(dst.Rows, dst.Cols, a.Rows)
 	if smallGemm(dst.Rows, dst.Cols, a.Rows) {
 		MatMulTNNaiveInto(dst, a, b)
 		return

@@ -99,6 +99,7 @@ func MatMulInto(dst, a, b *Mat) {
 		panic(fmt.Sprintf("tensor: matmul shape error dst %dx%d = %dx%d · %dx%d",
 			dst.Rows, dst.Cols, a.Rows, a.Cols, b.Rows, b.Cols))
 	}
+	countGemm(dst.Rows, dst.Cols, a.Cols)
 	if smallGemm(dst.Rows, dst.Cols, a.Cols) {
 		MatMulNaiveInto(dst, a, b)
 		return

@@ -1,0 +1,27 @@
+package tensor
+
+import (
+	"sync/atomic"
+
+	"mptwino/internal/telemetry"
+)
+
+// Telemetry hook for the GEMM kernels. Like internal/parallel, tensor sits
+// below every instrumented package, so the handle lives in a package-level
+// atomic pointer: Attach stores it race-safely and the matmul entry points
+// bump it (nil handle → no-op, the zero-cost disabled path). A multiply of
+// an m×k by a k×n operand counts 2·m·n·k floating-point operations, the
+// usual fused multiply-add convention — the count is a pure function of
+// operand shapes, so it is bit-identical at any worker count.
+var ctrGemmFlops atomic.Pointer[telemetry.Counter]
+
+// Attach points the GEMM instrumentation at reg's "tensor.gemm_flops"
+// counter. Attach(nil) detaches.
+func Attach(reg *telemetry.Registry) {
+	ctrGemmFlops.Store(reg.Counter("tensor.gemm_flops"))
+}
+
+// countGemm records one m×n×k matrix multiply (no-op when detached).
+func countGemm(m, n, k int) {
+	ctrGemmFlops.Load().Add(2 * int64(m) * int64(n) * int64(k))
+}

@@ -1,8 +1,10 @@
-// Package trace generates the synthetic workloads that stand in for the
-// paper's CIFAR/ImageNet data (DESIGN.md §2): Gaussian feature maps with
-// the statistics the paper observed for Winograd-domain values, and a
+// Package workload generates the synthetic workloads that stand in for
+// the paper's CIFAR/ImageNet data (DESIGN.md §2): Gaussian feature maps
+// with the statistics the paper observed for Winograd-domain values, and a
 // small learnable classification task used to train networks end to end.
-package trace
+// (It was formerly named internal/trace; that name now belongs to the
+// cycle-domain tracer in internal/telemetry.)
+package workload
 
 import "mptwino/internal/tensor"
 
