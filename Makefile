@@ -6,9 +6,9 @@
 GO ?= go
 STATICCHECK_VERSION ?= 2025.1
 
-.PHONY: verify build vet lint lint-ci test race fuzz bench bench-baseline benchdiff profile trace
+.PHONY: verify build vet lint lint-ci test race fuzz bench bench-baseline benchdiff profile trace scenarios scenarios-smoke
 
-verify: build vet lint test race
+verify: build vet lint scenarios-smoke test race
 
 build:
 	$(GO) build ./...
@@ -61,6 +61,20 @@ benchdiff:
 # simulated cycles, so the output is byte-identical at any -parallel value.
 trace:
 	$(GO) run ./cmd/mptsim -net vgg -config all -faults 17 -trace trace.json -metrics
+
+# Deterministic degraded-fleet scenario matrix (DESIGN.md §11): the pinned
+# {fleet class × network} grid under w_mp++, as a TSV that is byte-identical
+# at any -parallel value. CI diffs the emitted table against the committed
+# golden (internal/scenario/testdata/scenarios_golden.tsv; refresh with
+# `go test ./internal/scenario -update`) and uploads it as an artifact.
+scenarios:
+	$(GO) run ./cmd/mptsim -scenarios -scenarios-out scenarios.tsv
+	@echo "wrote scenarios.tsv"
+
+# Fast smoke subset of the scenario-matrix golden — part of `make verify`
+# (the full grid runs in the regular test suite and in the CI matrix job).
+scenarios-smoke:
+	$(GO) test -run 'TestMatrixSmokeGolden' ./internal/scenario/
 
 # CPU + heap profiles. The first recipe profiles the timing simulator via
 # mptsim's -cpuprofile/-memprofile flags; the second profiles the numeric

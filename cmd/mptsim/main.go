@@ -11,6 +11,8 @@
 //	mptsim -net wrn -faults 17                     # module 17 fails; show recovery
 //	mptsim -net wrn -faults 3,7,200 -config w_mp*  # multiple failures
 //	mptsim -net vgg -trace out.json -metrics       # cycle-domain Chrome trace + counters
+//	mptsim -scenarios                              # degraded-fleet scenario matrix (TSV)
+//	mptsim -scenarios -scenarios-out table.tsv     # ... to a file (CI artifact)
 //
 // Telemetry output is deterministic: for a fixed invocation the trace
 // JSON and metrics dumps are byte-identical at any -parallel setting
@@ -28,6 +30,7 @@ import (
 
 	"mptwino/internal/model"
 	"mptwino/internal/parallel"
+	"mptwino/internal/scenario"
 	"mptwino/internal/sim"
 	"mptwino/internal/telemetry"
 )
@@ -41,6 +44,9 @@ func main() {
 	k := flag.Int("k", 3, "kernel size for layer mode: 3 or 5")
 	breakdown := flag.Bool("breakdown", false, "layer mode: show per-resource durations and the binding resource")
 	faults := flag.String("faults", "", "net mode: comma-separated failed module IDs; re-solves clustering over the survivors and reports healthy vs degraded")
+	scenarios := flag.Bool("scenarios", false, "run the deterministic degraded-fleet scenario matrix and emit the TSV table (byte-identical at any -parallel)")
+	scenariosOut := flag.String("scenarios-out", "", "with -scenarios: write the table to this file instead of stdout")
+	scenariosSmoke := flag.Bool("scenarios-smoke", false, "with -scenarios: run the trimmed fast subset (the make-verify smoke grid)")
 	traceFile := flag.String("trace", "", "write a Chrome trace_event JSON (chrome://tracing, Perfetto) with simulated-cycle timestamps to this file")
 	metrics := flag.Bool("metrics", false, "dump the telemetry counters as aligned text on exit")
 	metricsJSON := flag.String("metrics-json", "", "write the telemetry counters as JSON to this file ('-' for stdout)")
@@ -105,6 +111,20 @@ func main() {
 	}
 
 	switch {
+	case *scenarios:
+		m := scenario.Run(scenario.Options{Workers: *workers, Parallel: *par, Smoke: *scenariosSmoke})
+		w := os.Stdout
+		if *scenariosOut != "" {
+			f, err := os.Create(*scenariosOut)
+			if err != nil {
+				fail(err)
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := m.WriteTSV(w); err != nil {
+			fail(err)
+		}
 	case *layerName != "":
 		l, err := findLayer(*layerName, *k)
 		if err != nil {
@@ -147,7 +167,7 @@ func main() {
 				r.Energy.Total(), r.PowerW)
 		}
 	default:
-		fail(fmt.Errorf("specify -layer or -net (see -h)"))
+		fail(fmt.Errorf("specify -layer, -net, or -scenarios (see -h)"))
 	}
 }
 

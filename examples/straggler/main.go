@@ -1,0 +1,132 @@
+// Straggler is the heterogeneous-fleet walkthrough: one slow module on
+// the paper's 256-worker machine, from capability profile to recovered
+// throughput. Part 1 prices the straggler in the timing simulator and
+// shows load-aware batch sharding recovering most of the synchronous-step
+// penalty. Part 2 runs the functional MPT trainer through the full
+// degraded-recovery sequence — train on a straggler fleet with
+// speed-proportional shards, checkpoint, lose a different module,
+// re-solve the survivor grid, rebalance onto the survivor speeds, restore
+// — and shows the post-recovery loss trajectory matching a fault-free
+// network wired that way from the start, bit for bit.
+package main
+
+import (
+	"fmt"
+
+	"mptwino/internal/comm"
+	"mptwino/internal/conv"
+	"mptwino/internal/fault"
+	"mptwino/internal/model"
+	"mptwino/internal/mpt"
+	"mptwino/internal/sim"
+	"mptwino/internal/tensor"
+	"mptwino/internal/winograd"
+)
+
+func main() {
+	simDemo()
+	trainDemo()
+}
+
+// simDemo prices a half-speed module 17 on WRN-40-10 under w_mp++, with
+// and without load-aware sharding.
+func simDemo() {
+	net := model.WRN40x10()
+	healthy := sim.DefaultSystem()
+
+	straggler := func(loadAware bool) sim.System {
+		s := sim.DefaultSystem()
+		plan := fault.SlowStragglerPlan(1, s.Workers, 17, 0.5)
+		s.ComputeSpeeds, s.LinkSpeeds = plan.ModuleSpeeds(s.Workers, 0, 1)
+		s.LoadAware = loadAware
+		return s
+	}
+
+	h := healthy.SimulateNetwork(net, sim.WMpFull)
+	equal := straggler(false).SimulateNetwork(net, sim.WMpFull)
+	aware := straggler(true).SimulateNetwork(net, sim.WMpFull)
+
+	fmt.Println("== timing: module 17 at half speed, WRN-40-10, w_mp++ ==")
+	fmt.Printf("healthy fleet:          %8.3f ms/iter  %9.0f img/s\n",
+		h.IterationSec*1e3, h.ImagesPerSec)
+	fmt.Printf("straggler, equal split: %8.3f ms/iter  %9.0f img/s  (%.2fx)\n",
+		equal.IterationSec*1e3, equal.ImagesPerSec, equal.IterationSec/h.IterationSec)
+	fmt.Printf("straggler, load-aware:  %8.3f ms/iter  %9.0f img/s  (%.2fx)\n",
+		aware.IterationSec*1e3, aware.ImagesPerSec, aware.IterationSec/h.IterationSec)
+
+	// The shard math behind the recovery: the straggler's cluster takes a
+	// speed-proportional share instead of B/Nc.
+	speeds := []float64{1, 1, 0.5, 1}
+	fmt.Printf("shares of batch 64 at speeds %v: equal %v, load-aware %v\n\n",
+		speeds, comm.EqualShards(64, 4), comm.LoadAwareShards(64, speeds))
+}
+
+// trainDemo runs the functional engine through degraded recovery on a
+// heterogeneous fleet.
+func trainDemo() {
+	const (
+		batch = 24
+		lr    = 1e-4
+	)
+	params := []conv.Params{
+		{In: 3, Out: 4, K: 3, Pad: 1, H: 8, W: 8},
+		{In: 4, Out: 2, K: 3, Pad: 1, H: 8, W: 8},
+	}
+	rng := tensor.NewRNG(53)
+	x := tensor.New(batch, 3, 8, 8)
+	rng.FillNormal(x, 0, 1)
+	target := tensor.New(batch, 2, 8, 8)
+	rng.FillNormal(target, 0, 1)
+
+	// A (4,4) grid where cluster 1 runs at half speed: the batch shards
+	// 7/3/7/7 instead of 6/6/6/6.
+	cfg := mpt.Config{Ng: 4, Nc: 4, Speeds: []float64{1, 0.5, 1, 1}}
+	n := check(mpt.NewNet(winograd.F2x2_3x3, params, cfg, tensor.NewRNG(59)))
+
+	fmt.Println("== training: (4,4) grid, cluster 1 at half speed ==")
+	for i := 0; i < 3; i++ {
+		loss, err := n.TrainStepMSE(x, target, lr)
+		check0(err)
+		fmt.Printf("step %d: loss %.6f\n", i, loss)
+	}
+	cp := n.Checkpoint()
+
+	// A module in cluster 3 dies: 15 survivors re-wire to (4,3), the
+	// straggler survives, and the batch rebalances onto {1, 0.5, 1}.
+	survivorSpeeds := []float64{1, 0.5, 1}
+	check0(n.Reconfigure(4, 3))
+	moved, err := n.Rebalance(batch, survivorSpeeds)
+	check0(err)
+	check0(n.Restore(cp))
+	fmt.Printf("module lost: regrid to (4,3), rebalance moved %d activation bytes\n", moved)
+
+	recovered := make([]float64, 3)
+	for i := range recovered {
+		loss, err := n.TrainStepMSE(x, target, lr)
+		check0(err)
+		recovered[i] = loss
+	}
+
+	// Reference: a fault-free network wired at (4,3) with the survivor
+	// speeds from the start, restored from the same checkpoint.
+	refCfg := mpt.Config{Ng: 4, Nc: 3, Speeds: survivorSpeeds}
+	ref := check(mpt.NewNet(winograd.F2x2_3x3, params, refCfg, tensor.NewRNG(999)))
+	check0(ref.Restore(cp))
+	fmt.Println("post-recovery loss trajectory (recovered vs fault-free, bit-exact):")
+	for i := range recovered {
+		loss, err := ref.TrainStepMSE(x, target, lr)
+		check0(err)
+		fmt.Printf("step %d: %.9f vs %.9f  equal=%v\n", i, recovered[i], loss, recovered[i] == loss)
+	}
+}
+
+func check[T any](v T, err error) T {
+	check0(err)
+	return v
+}
+
+func check0(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

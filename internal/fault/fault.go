@@ -62,10 +62,14 @@ type NodeFault struct {
 }
 
 // Plan is a complete deterministic fault schedule for one simulation run.
+// Beyond the binary fault classes, Profiles carries the per-module
+// capability model (profile.go): heterogeneous fleets where modules differ
+// in compute throughput and link bandwidth without being faulty.
 type Plan struct {
-	Seed  uint64
-	Links []LinkFault
-	Nodes []NodeFault
+	Seed     uint64
+	Links    []LinkFault
+	Nodes    []NodeFault
+	Profiles []ModuleProfile
 }
 
 // NewPlan returns an empty plan with the given seed.
@@ -93,7 +97,16 @@ func (p *Plan) FailNode(node int, at int64) *Plan {
 	return p
 }
 
-// Validate checks the plan against an n-node fabric.
+// Validate checks the plan against an n-node fabric. Beyond per-fault
+// range checks, it rejects *contradictory overlaps*: two faults on the
+// same directed link whose active windows intersect and which both set
+// the same degradation class (both BandwidthScale, both ExtraSerDes, or
+// both DropProb). Before this check, whichever fault a consumer consulted
+// last silently decided the link's state; now the ambiguity is an error
+// at plan-build time. The documented resolution order for the overlaps
+// that remain legal (distinct classes) is in LinkState and DropFlit:
+// bandwidth scales multiply, extra SerDes cycles add, and drop faults are
+// evaluated in plan order against one shared per-flit draw.
 func (p *Plan) Validate(n int) error {
 	for i, lf := range p.Links {
 		if lf.From < 0 || lf.From >= n || lf.To < 0 || lf.To >= n || lf.From == lf.To {
@@ -111,6 +124,23 @@ func (p *Plan) Validate(n int) error {
 		if lf.End > 0 && lf.End <= lf.Start {
 			return fmt.Errorf("fault: link fault %d has empty window [%d,%d)", i, lf.Start, lf.End)
 		}
+		for j := 0; j < i; j++ {
+			prev := p.Links[j]
+			if prev.From != lf.From || prev.To != lf.To {
+				continue
+			}
+			if !windowsOverlap(prev.Start, prev.End, lf.Start, lf.End) {
+				continue
+			}
+			switch {
+			case prev.BandwidthScale > 0 && lf.BandwidthScale > 0:
+				return fmt.Errorf("fault: link faults %d and %d both scale bandwidth on %d->%d over overlapping windows", j, i, lf.From, lf.To)
+			case prev.ExtraSerDes > 0 && lf.ExtraSerDes > 0:
+				return fmt.Errorf("fault: link faults %d and %d both add SerDes cycles on %d->%d over overlapping windows", j, i, lf.From, lf.To)
+			case prev.DropProb > 0 && lf.DropProb > 0:
+				return fmt.Errorf("fault: link faults %d and %d both drop flits on %d->%d over overlapping windows", j, i, lf.From, lf.To)
+			}
+		}
 	}
 	for i, nf := range p.Nodes {
 		if nf.Node < 0 || nf.Node >= n {
@@ -120,7 +150,7 @@ func (p *Plan) Validate(n int) error {
 			return fmt.Errorf("fault: node fault %d has negative cycle %d", i, nf.At)
 		}
 	}
-	return nil
+	return validateProfiles(p.Profiles, n)
 }
 
 // LinkFaultsFor returns the plan's faults on the directed link a→b, in plan
@@ -171,9 +201,15 @@ func (p *Plan) FailedBy(cycle int64) []int {
 }
 
 // LinkState folds every active fault on the directed link a→b at the cycle
-// into an effective (bandwidth scale, extra SerDes cycles) pair. Scales
-// multiply; extra latency adds. Faults with no degradation fields set (pure
-// drop faults) leave the state untouched.
+// into an effective (bandwidth scale, extra SerDes cycles) pair.
+//
+// Resolution order: bandwidth scales multiply and extra latency adds, in
+// plan order. Plan.Validate rejects two active faults of the same class on
+// one directed link over overlapping windows, so on a validated plan the
+// multiplicative fold never combines two bandwidth scales at once — the
+// fold here stays total (not last-wins) only as defense in depth for
+// fault slices built without Validate. Faults with no degradation fields
+// set (pure drop faults) leave the state untouched.
 func LinkState(faults []LinkFault, cycle int64) (scale float64, extra int) {
 	scale = 1
 	for _, lf := range faults {
@@ -190,7 +226,10 @@ func LinkState(faults []LinkFault, cycle int64) (scale float64, extra int) {
 
 // DropFlit decides — deterministically in (seed, link, cycle, idx) — whether
 // the idx-th flit transmitted on the directed link a→b this cycle is
-// corrupted by any active drop fault.
+// corrupted by any active drop fault. All drop faults on a link share one
+// per-flit uniform draw, so overlapping drop windows would drop at the
+// *maximum* of their probabilities rather than compounding — which is why
+// Plan.Validate rejects that overlap instead of resolving it silently.
 func DropFlit(seed uint64, faults []LinkFault, a, b int, cycle int64, idx int) bool {
 	for _, lf := range faults {
 		if lf.DropProb <= 0 || !lf.ActiveAt(cycle) {

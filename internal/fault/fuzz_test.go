@@ -1,0 +1,162 @@
+package fault
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzUniform checks the three properties the determinism contract needs
+// from the shared randomness primitive: range [0,1), pure determinism
+// across calls, and sensitivity to every key component.
+func FuzzUniform(f *testing.F) {
+	f.Add(uint64(0), uint64(0), uint64(0))
+	f.Add(uint64(1), uint64(0), uint64(0))
+	f.Add(uint64(42), uint64(1)<<40, uint64(17))
+	f.Add(^uint64(0), ^uint64(0), ^uint64(0))
+	f.Fuzz(func(t *testing.T, seed, a, b uint64) {
+		u := Uniform(seed, a, b)
+		if u < 0 || u >= 1 || math.IsNaN(u) {
+			t.Fatalf("Uniform(%d,%d,%d) = %v outside [0,1)", seed, a, b, u)
+		}
+		if u2 := Uniform(seed, a, b); u2 != u {
+			t.Fatalf("Uniform not deterministic: %v then %v", u, u2)
+		}
+		// Flipping any single key component must change the draw. The top-53
+		// bits of two distinct mixes collide with probability ~2^-53, so
+		// require at least one of two neighbor probes per component to
+		// differ — a component the hash ignores fails both, a genuine
+		// collision (probability ~2^-106) fails neither.
+		for name, d := range map[string][3]uint64{
+			"seed": {1, 0, 0},
+			"a":    {0, 1, 0},
+			"b":    {0, 0, 1},
+		} {
+			if Uniform(seed+d[0], a+d[1], b+d[2]) == u &&
+				Uniform(seed+2*d[0], a+2*d[1], b+2*d[2]) == u {
+				t.Fatalf("Uniform insensitive to %s at (%d,%d,%d)", name, seed, a, b)
+			}
+		}
+	})
+}
+
+// FuzzDropFlit checks the per-flit drop decision: deterministic across
+// calls, inert outside the fault window or at probability 0, certain at
+// probability 1 inside the window, and keyed on the flit index.
+func FuzzDropFlit(f *testing.F) {
+	f.Add(uint64(7), int64(50), 0, 0.5)
+	f.Add(uint64(0), int64(0), 3, 0.0)
+	f.Add(uint64(99), int64(200), 7, 1.0)
+	f.Fuzz(func(t *testing.T, seed uint64, cycle int64, idx int, prob float64) {
+		if prob < 0 || prob > 1 || idx < 0 || cycle < 0 {
+			t.Skip()
+		}
+		faults := []LinkFault{{From: 1, To: 2, Start: 10, End: 100, DropProb: prob}}
+		got := DropFlit(seed, faults, 1, 2, cycle, idx)
+		if got2 := DropFlit(seed, faults, 1, 2, cycle, idx); got2 != got {
+			t.Fatal("DropFlit not deterministic across calls")
+		}
+		inWindow := cycle >= 10 && cycle < 100
+		if !inWindow && got {
+			t.Fatalf("dropped outside window at cycle %d", cycle)
+		}
+		if prob == 0 && got {
+			t.Fatal("dropped at probability 0")
+		}
+		if prob == 1 && inWindow && !got {
+			t.Fatal("kept flit at probability 1 inside window")
+		}
+		// The decision must depend on the probability threshold exactly:
+		// drop iff the shared uniform draw is below prob.
+		u := Uniform(seed, uint64(1)<<40|uint64(2)<<16|uint64(idx), uint64(cycle))
+		if inWindow && got != (u < prob) {
+			t.Fatalf("drop=%v but uniform=%v prob=%v", got, u, prob)
+		}
+	})
+}
+
+// TestDropFlitSensitivity pins the key components of the per-flit draw:
+// different seeds, endpoints, cycles, and flit indices must decorrelate
+// drops, and the empirical drop rate must track the configured probability.
+func TestDropFlitSensitivity(t *testing.T) {
+	faults := []LinkFault{{From: 1, To: 2, Start: 0, End: 0, DropProb: 0.5}}
+	const n = 4096
+	count := func(seed uint64, a, b int, cycleOff int64) int {
+		faults := []LinkFault{{From: a, To: b, Start: 0, End: 0, DropProb: 0.5}}
+		c := 0
+		for i := 0; i < n; i++ {
+			if DropFlit(seed, faults, a, b, cycleOff+int64(i), 0) {
+				c++
+			}
+		}
+		return c
+	}
+	base := count(1, 1, 2, 0)
+	if math.Abs(float64(base)/n-0.5) > 0.05 {
+		t.Fatalf("empirical drop rate %v far from 0.5", float64(base)/n)
+	}
+	// Per-flit-index independence within one cycle.
+	sameIdx := 0
+	for i := 0; i < n; i++ {
+		if DropFlit(1, faults, 1, 2, 7, i) == DropFlit(1, faults, 1, 2, 7, i+1) {
+			sameIdx++
+		}
+	}
+	if math.Abs(float64(sameIdx)/n-0.5) > 0.05 {
+		t.Fatalf("adjacent flit indices agree %v of the time, want ~0.5", float64(sameIdx)/n)
+	}
+	// Seed and endpoint sensitivity: identical sequences would be a hash bug.
+	for name, got := range map[string]int{
+		"seed":     agreement(t, 1, 2, 2, 2, 0, 0),
+		"endpoint": agreement(t, 1, 2, 1, 3, 0, 0),
+	} {
+		if math.Abs(float64(got)/n-0.5) > 0.05 {
+			t.Errorf("%s-varied drop sequences agree %v of the time, want ~0.5", name, float64(got)/n)
+		}
+	}
+}
+
+// agreement counts how often two drop processes with different keys agree
+// over 4096 cycles; independent draws agree ~half the time at prob 0.5.
+func agreement(t *testing.T, seedA uint64, toA int, seedB uint64, toB int, offA, offB int64) int {
+	t.Helper()
+	fa := []LinkFault{{From: 1, To: toA, Start: 0, End: 0, DropProb: 0.5}}
+	fb := []LinkFault{{From: 1, To: toB, Start: 0, End: 0, DropProb: 0.5}}
+	c := 0
+	for i := int64(0); i < 4096; i++ {
+		if DropFlit(seedA, fa, 1, toA, offA+i, 0) == DropFlit(seedB, fb, 1, toB, offB+i, 0) {
+			c++
+		}
+	}
+	return c
+}
+
+// TestLinkStateOverlappingWindows pins the documented resolution order when
+// fault slices are built without Validate: bandwidth scales multiply and
+// extra SerDes cycles add across every active fault, in plan order.
+func TestLinkStateOverlappingWindows(t *testing.T) {
+	faults := []LinkFault{
+		{From: 0, To: 1, Start: 0, End: 100, BandwidthScale: 0.5},
+		{From: 0, To: 1, Start: 50, End: 150, BandwidthScale: 0.5, ExtraSerDes: 2},
+		{From: 0, To: 1, Start: 60, End: 0, ExtraSerDes: 3}, // never clears
+		{From: 0, To: 1, Start: 0, End: 0, DropProb: 0.1},   // pure drop fault: inert here
+	}
+	for _, tc := range []struct {
+		cycle     int64
+		wantScale float64
+		wantExtra int
+	}{
+		{0, 0.5, 0},
+		{49, 0.5, 0},
+		{50, 0.25, 2}, // both scales active: multiply
+		{60, 0.25, 5}, // extras add
+		{100, 0.5, 5}, // first window closed
+		{150, 1.0, 3}, // only the unbounded fault remains
+		{1 << 50, 1, 3},
+	} {
+		scale, extra := LinkState(faults, tc.cycle)
+		if math.Abs(scale-tc.wantScale) > 1e-12 || extra != tc.wantExtra {
+			t.Errorf("cycle %d: LinkState = (%v, %d), want (%v, %d)",
+				tc.cycle, scale, extra, tc.wantScale, tc.wantExtra)
+		}
+	}
+}

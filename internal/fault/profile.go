@@ -1,0 +1,256 @@
+package fault
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ThrottleWindow is one thermal-throttle episode: the module's compute
+// throughput is multiplied by Scale over the cycle window [Start, End).
+// End <= 0 means the throttle never lifts.
+type ThrottleWindow struct {
+	Start, End int64
+	Scale      float64 // compute multiplier while active, in (0, 1]
+}
+
+// ActiveAt reports whether the window covers the cycle.
+func (w ThrottleWindow) ActiveAt(cycle int64) bool {
+	return cycle >= w.Start && (w.End <= 0 || cycle < w.End)
+}
+
+// ModuleProfile describes one module's capability relative to a healthy
+// reference module — the per-module generalization of the binary
+// alive/dead NodeFault. Real memory-centric fleets are heterogeneous:
+// stragglers run slow, thermally stressed stacks throttle in episodes, and
+// mixed-generation deployments pair modules with unequal compute and
+// SerDes rates. Zero-valued scale fields mean "unset" and read as 1.
+//
+// The profile is as deterministic as the rest of the plan: every consumer
+// derives behavior from the profile values alone (no RNG), so a plan with
+// profiles reproduces byte-identical simulations.
+type ModuleProfile struct {
+	Module int
+
+	// ComputeScale multiplies the module's compute throughput (systolic
+	// array and vector unit). 0 means unset (healthy, 1.0); otherwise it
+	// must lie in (0, 1] — a module that computes nothing is a failure,
+	// expressed with FailNode.
+	ComputeScale float64
+
+	// LinkScale multiplies the bandwidth of every link the module
+	// terminates (its SerDes lanes run derated). 0 means unset; otherwise
+	// (0, 1]. A link between two profiled modules runs at the slower
+	// endpoint's rate.
+	LinkScale float64
+
+	// Throttle lists thermal-throttle episodes that further scale the
+	// module's compute over cycle windows. Windows of one module must not
+	// overlap (Validate rejects ambiguity instead of picking a winner).
+	Throttle []ThrottleWindow
+}
+
+// EffectiveComputeScale returns the base compute multiplier (1 when unset).
+func (m ModuleProfile) EffectiveComputeScale() float64 {
+	if m.ComputeScale == 0 {
+		return 1
+	}
+	return m.ComputeScale
+}
+
+// EffectiveLinkScale returns the link-bandwidth multiplier (1 when unset).
+func (m ModuleProfile) EffectiveLinkScale() float64 {
+	if m.LinkScale == 0 {
+		return 1
+	}
+	return m.LinkScale
+}
+
+// ComputeScaleAt returns the module's compute multiplier at one cycle:
+// the base scale times every active throttle window's scale.
+func (m ModuleProfile) ComputeScaleAt(cycle int64) float64 {
+	s := m.EffectiveComputeScale()
+	for _, w := range m.Throttle {
+		if w.ActiveAt(cycle) {
+			s *= w.Scale
+		}
+	}
+	return s
+}
+
+// MeanComputeScale returns the module's exact time-averaged compute
+// multiplier over [start, end) — the steady-state speed the load-aware
+// planner shards against. Validate guarantees windows do not overlap, so
+// the average is the base scale minus each window's duty-weighted deficit.
+func (m ModuleProfile) MeanComputeScale(start, end int64) float64 {
+	base := m.EffectiveComputeScale()
+	if end <= start {
+		return base
+	}
+	span := float64(end - start)
+	mean := base
+	for _, w := range m.Throttle {
+		lo, hi := w.Start, w.End
+		if lo < start {
+			lo = start
+		}
+		if hi <= 0 || hi > end {
+			hi = end
+		}
+		if hi <= lo {
+			continue
+		}
+		mean -= base * (1 - w.Scale) * float64(hi-lo) / span
+	}
+	return mean
+}
+
+// validateProfiles checks the plan's module profiles against an n-module
+// fabric: in-range module ids, scales in (0, 1] (or unset), at most one
+// profile per module, and non-overlapping throttle windows.
+func validateProfiles(profiles []ModuleProfile, n int) error {
+	seen := make(map[int]bool, len(profiles))
+	for i, mp := range profiles {
+		if mp.Module < 0 || mp.Module >= n {
+			return fmt.Errorf("fault: module profile %d names module %d (n=%d)", i, mp.Module, n)
+		}
+		if seen[mp.Module] {
+			return fmt.Errorf("fault: module %d has more than one profile", mp.Module)
+		}
+		seen[mp.Module] = true
+		if mp.ComputeScale < 0 || mp.ComputeScale > 1 {
+			return fmt.Errorf("fault: module profile %d has compute scale %v outside (0,1]", i, mp.ComputeScale)
+		}
+		if mp.LinkScale < 0 || mp.LinkScale > 1 {
+			return fmt.Errorf("fault: module profile %d has link scale %v outside (0,1]", i, mp.LinkScale)
+		}
+		for j, w := range mp.Throttle {
+			if w.Scale <= 0 || w.Scale > 1 {
+				return fmt.Errorf("fault: module %d throttle %d has scale %v outside (0,1]", mp.Module, j, w.Scale)
+			}
+			if w.End > 0 && w.End <= w.Start {
+				return fmt.Errorf("fault: module %d throttle %d has empty window [%d,%d)", mp.Module, j, w.Start, w.End)
+			}
+			for k := 0; k < j; k++ {
+				if windowsOverlap(mp.Throttle[k].Start, mp.Throttle[k].End, w.Start, w.End) {
+					return fmt.Errorf("fault: module %d throttle windows %d and %d overlap", mp.Module, k, j)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// windowsOverlap reports whether the cycle windows [s1,e1) and [s2,e2)
+// intersect, treating End <= 0 as unbounded.
+func windowsOverlap(s1, e1, s2, e2 int64) bool {
+	if e1 > 0 && e1 <= s2 {
+		return false
+	}
+	if e2 > 0 && e2 <= s1 {
+		return false
+	}
+	return true
+}
+
+// ProfileModule installs a capability profile for one module (at most one
+// per module; Validate enforces it).
+func (p *Plan) ProfileModule(mp ModuleProfile) *Plan {
+	p.Profiles = append(p.Profiles, mp)
+	return p
+}
+
+// SlowModule profiles module m as a permanent straggler at the given
+// compute scale.
+func (p *Plan) SlowModule(m int, computeScale float64) *Plan {
+	return p.ProfileModule(ModuleProfile{Module: m, ComputeScale: computeScale})
+}
+
+// ThrottleModule adds a thermal-throttle episode to module m, creating the
+// profile if none exists yet.
+func (p *Plan) ThrottleModule(m int, start, end int64, scale float64) *Plan {
+	for i := range p.Profiles {
+		if p.Profiles[i].Module == m {
+			p.Profiles[i].Throttle = append(p.Profiles[i].Throttle, ThrottleWindow{Start: start, End: end, Scale: scale})
+			return p
+		}
+	}
+	return p.ProfileModule(ModuleProfile{Module: m, Throttle: []ThrottleWindow{{Start: start, End: end, Scale: scale}}})
+}
+
+// ProfileFor returns module m's profile, or a healthy zero profile when
+// the plan carries none for it.
+func (p *Plan) ProfileFor(m int) ModuleProfile {
+	for _, mp := range p.Profiles {
+		if mp.Module == m {
+			return mp
+		}
+	}
+	return ModuleProfile{Module: m}
+}
+
+// ModuleSpeeds folds the plan's profiles into dense per-module speed
+// slices for an n-module fleet: compute holds each module's mean compute
+// multiplier over [start, end) (throttle windows duty-averaged), link each
+// module's SerDes bandwidth multiplier. Unprofiled modules read 1. The
+// slices feed the load-aware planner (sim.System.ComputeSpeeds/LinkSpeeds)
+// and the scenario matrix.
+func (p *Plan) ModuleSpeeds(n int, start, end int64) (compute, link []float64) {
+	compute = make([]float64, n)
+	link = make([]float64, n)
+	for i := range compute {
+		compute[i] = 1
+		link[i] = 1
+	}
+	for _, mp := range p.Profiles {
+		if mp.Module < 0 || mp.Module >= n {
+			continue
+		}
+		compute[mp.Module] = mp.MeanComputeScale(start, end)
+		link[mp.Module] = mp.EffectiveLinkScale()
+	}
+	return compute, link
+}
+
+// ProfiledModules returns the ids of modules carrying a profile, ascending.
+func (p *Plan) ProfiledModules() []int {
+	out := make([]int, 0, len(p.Profiles))
+	for _, mp := range p.Profiles {
+		out = append(out, mp.Module)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// --- canonical degraded-fleet plan builders -------------------------------
+
+// SlowStragglerPlan returns an n-module fleet with one permanent straggler:
+// module m computes at computeScale of nominal. The canonical "one slow
+// worker gates the synchronous step" scenario.
+func SlowStragglerPlan(seed uint64, n, m int, computeScale float64) *Plan {
+	return NewPlan(seed).SlowModule(m, computeScale)
+}
+
+// ThrottledRegionPlan returns a fleet where the contiguous module region
+// [lo, hi) thermally throttles to scale over the cycle window [start, end)
+// — a hot quadrant of the package sharing an airflow shadow.
+func ThrottledRegionPlan(seed uint64, n, lo, hi int, scale float64, start, end int64) *Plan {
+	p := NewPlan(seed)
+	for m := lo; m < hi && m < n; m++ {
+		if m < 0 {
+			continue
+		}
+		p.ThrottleModule(m, start, end, scale)
+	}
+	return p
+}
+
+// MixedGenerationPlan returns a mixed-generation fleet: the upper half of
+// the modules ([n/2, n)) is an older HMC generation running at computeScale
+// compute and linkScale SerDes bandwidth; the lower half is nominal.
+func MixedGenerationPlan(seed uint64, n int, computeScale, linkScale float64) *Plan {
+	p := NewPlan(seed)
+	for m := n / 2; m < n; m++ {
+		p.ProfileModule(ModuleProfile{Module: m, ComputeScale: computeScale, LinkScale: linkScale})
+	}
+	return p
+}

@@ -1,0 +1,179 @@
+package fault
+
+import (
+	"math"
+	"testing"
+)
+
+func TestModuleProfileScalesDefaultToHealthy(t *testing.T) {
+	var mp ModuleProfile
+	if s := mp.EffectiveComputeScale(); s != 1 {
+		t.Fatalf("unset compute scale reads %v, want 1", s)
+	}
+	if s := mp.EffectiveLinkScale(); s != 1 {
+		t.Fatalf("unset link scale reads %v, want 1", s)
+	}
+	if s := mp.ComputeScaleAt(123); s != 1 {
+		t.Fatalf("healthy ComputeScaleAt = %v, want 1", s)
+	}
+}
+
+func TestComputeScaleAtThrottleWindows(t *testing.T) {
+	mp := ModuleProfile{
+		Module:       3,
+		ComputeScale: 0.8,
+		Throttle: []ThrottleWindow{
+			{Start: 100, End: 200, Scale: 0.5},
+			{Start: 300, End: 0, Scale: 0.25}, // never lifts
+		},
+	}
+	for _, tc := range []struct {
+		cycle int64
+		want  float64
+	}{{0, 0.8}, {99, 0.8}, {100, 0.4}, {199, 0.4}, {200, 0.8}, {299, 0.8}, {300, 0.2}, {1 << 40, 0.2}} {
+		if got := mp.ComputeScaleAt(tc.cycle); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("ComputeScaleAt(%d) = %v, want %v", tc.cycle, got, tc.want)
+		}
+	}
+}
+
+func TestMeanComputeScaleExactAverage(t *testing.T) {
+	mp := ModuleProfile{Module: 0, Throttle: []ThrottleWindow{{Start: 0, End: 500, Scale: 0.5}}}
+	// Half the [0, 1000) horizon at 0.5, half at 1.0 -> 0.75.
+	if got := mp.MeanComputeScale(0, 1000); math.Abs(got-0.75) > 1e-12 {
+		t.Fatalf("MeanComputeScale = %v, want 0.75", got)
+	}
+	// Window clipped to the horizon.
+	if got := mp.MeanComputeScale(0, 500); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("MeanComputeScale over the throttled half = %v, want 0.5", got)
+	}
+	// Unbounded window dominates a horizon inside it.
+	forever := ModuleProfile{Throttle: []ThrottleWindow{{Start: 0, End: 0, Scale: 0.25}}}
+	if got := forever.MeanComputeScale(100, 200); math.Abs(got-0.25) > 1e-12 {
+		t.Fatalf("unbounded throttle mean = %v, want 0.25", got)
+	}
+	// The mean must agree with a brute-force per-cycle average.
+	mixed := ModuleProfile{ComputeScale: 0.9, Throttle: []ThrottleWindow{
+		{Start: 10, End: 40, Scale: 0.5},
+		{Start: 60, End: 80, Scale: 0.2},
+	}}
+	var sum float64
+	for c := int64(0); c < 100; c++ {
+		sum += mixed.ComputeScaleAt(c)
+	}
+	if got, want := mixed.MeanComputeScale(0, 100), sum/100; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("MeanComputeScale = %v, brute force = %v", got, want)
+	}
+}
+
+func TestProfileValidate(t *testing.T) {
+	for name, p := range map[string]*Plan{
+		"bad module":        NewPlan(0).SlowModule(9, 0.5),
+		"negative module":   NewPlan(0).SlowModule(-1, 0.5),
+		"compute scale > 1": NewPlan(0).SlowModule(1, 1.5),
+		"link scale > 1":    NewPlan(0).ProfileModule(ModuleProfile{Module: 1, LinkScale: 2}),
+		"duplicate profile": NewPlan(0).SlowModule(1, 0.5).ProfileModule(ModuleProfile{Module: 1, LinkScale: 0.5}),
+		"throttle scale 0":  NewPlan(0).ThrottleModule(2, 0, 100, 0),
+		"empty throttle":    NewPlan(0).ThrottleModule(2, 50, 50, 0.5),
+		"overlap throttle":  NewPlan(0).ThrottleModule(2, 0, 100, 0.5).ThrottleModule(2, 50, 150, 0.25),
+		"overlap unbounded": NewPlan(0).ThrottleModule(2, 0, 0, 0.5).ThrottleModule(2, 1000, 2000, 0.25),
+	} {
+		if err := p.Validate(8); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	ok := NewPlan(1).
+		SlowModule(1, 0.5).
+		ProfileModule(ModuleProfile{Module: 2, ComputeScale: 0.7, LinkScale: 0.5}).
+		ThrottleModule(3, 0, 100, 0.5).ThrottleModule(3, 100, 200, 0.25)
+	if err := ok.Validate(8); err != nil {
+		t.Fatalf("valid profiled plan rejected: %v", err)
+	}
+}
+
+func TestModuleSpeeds(t *testing.T) {
+	p := NewPlan(0).
+		SlowModule(1, 0.5).
+		ProfileModule(ModuleProfile{Module: 2, LinkScale: 0.25}).
+		ThrottleModule(3, 0, 500, 0.5)
+	compute, link := p.ModuleSpeeds(4, 0, 1000)
+	wantCompute := []float64{1, 0.5, 1, 0.75}
+	wantLink := []float64{1, 1, 0.25, 1}
+	for i := range wantCompute {
+		if math.Abs(compute[i]-wantCompute[i]) > 1e-12 {
+			t.Errorf("compute[%d] = %v, want %v", i, compute[i], wantCompute[i])
+		}
+		if math.Abs(link[i]-wantLink[i]) > 1e-12 {
+			t.Errorf("link[%d] = %v, want %v", i, link[i], wantLink[i])
+		}
+	}
+	if ids := p.ProfiledModules(); len(ids) != 3 || ids[0] != 1 || ids[1] != 2 || ids[2] != 3 {
+		t.Fatalf("ProfiledModules = %v", ids)
+	}
+}
+
+func TestCanonicalFleetBuilders(t *testing.T) {
+	straggler := SlowStragglerPlan(7, 16, 5, 0.4)
+	if err := straggler.Validate(16); err != nil {
+		t.Fatal(err)
+	}
+	compute, _ := straggler.ModuleSpeeds(16, 0, 1000)
+	for i, s := range compute {
+		want := 1.0
+		if i == 5 {
+			want = 0.4
+		}
+		if s != want {
+			t.Fatalf("straggler compute[%d] = %v, want %v", i, s, want)
+		}
+	}
+
+	region := ThrottledRegionPlan(7, 16, 4, 8, 0.5, 0, 500)
+	if err := region.Validate(16); err != nil {
+		t.Fatal(err)
+	}
+	compute, _ = region.ModuleSpeeds(16, 0, 1000)
+	for i := 4; i < 8; i++ {
+		if math.Abs(compute[i]-0.75) > 1e-12 {
+			t.Fatalf("throttled region compute[%d] = %v, want 0.75", i, compute[i])
+		}
+	}
+	if compute[0] != 1 || compute[8] != 1 {
+		t.Fatal("throttled region leaked outside [4,8)")
+	}
+
+	mixed := MixedGenerationPlan(7, 16, 0.7, 0.5)
+	if err := mixed.Validate(16); err != nil {
+		t.Fatal(err)
+	}
+	compute, link := mixed.ModuleSpeeds(16, 0, 1000)
+	if compute[0] != 1 || link[0] != 1 {
+		t.Fatal("lower half not nominal")
+	}
+	if compute[8] != 0.7 || link[8] != 0.5 || compute[15] != 0.7 {
+		t.Fatalf("upper half compute/link = %v/%v, want 0.7/0.5", compute[8], link[8])
+	}
+}
+
+func TestValidateRejectsContradictoryLinkOverlaps(t *testing.T) {
+	for name, p := range map[string]*Plan{
+		"two scales":     NewPlan(0).DegradeLink(0, 1, 0, 100, 0.5, 0).DegradeLink(0, 1, 50, 150, 0.25, 0),
+		"two serdes":     NewPlan(0).DegradeLink(0, 1, 0, 100, 0, 3).DegradeLink(0, 1, 50, 150, 0, 5),
+		"two drops":      NewPlan(0).DropOnLink(0, 1, 0, 100, 0.1).DropOnLink(0, 1, 50, 150, 0.2),
+		"forever window": NewPlan(0).DegradeLink(0, 1, 0, 0, 0.5, 0).DegradeLink(0, 1, 1000, 2000, 0.25, 0),
+	} {
+		if err := p.Validate(8); err == nil {
+			t.Errorf("%s: contradictory overlap accepted", name)
+		}
+	}
+	// Disjoint windows, distinct links, and distinct classes stay legal.
+	for name, p := range map[string]*Plan{
+		"disjoint windows": NewPlan(0).DegradeLink(0, 1, 0, 100, 0.5, 0).DegradeLink(0, 1, 100, 200, 0.25, 0),
+		"distinct links":   NewPlan(0).DegradeLink(0, 1, 0, 100, 0.5, 0).DegradeLink(2, 3, 0, 100, 0.25, 0),
+		"distinct classes": NewPlan(0).DegradeLink(0, 1, 0, 100, 0.5, 0).DropOnLink(0, 1, 0, 100, 0.1),
+	} {
+		if err := p.Validate(8); err != nil {
+			t.Errorf("%s: legal plan rejected: %v", name, err)
+		}
+	}
+}

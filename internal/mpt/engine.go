@@ -12,6 +12,7 @@ package mpt
 import (
 	"fmt"
 
+	"mptwino/internal/comm"
 	"mptwino/internal/conv"
 	"mptwino/internal/ndp"
 	"mptwino/internal/quant"
@@ -32,6 +33,17 @@ type Config struct {
 	// ZeroSkip counts (and skips) exactly-zero values during tile
 	// scattering, the §V-B scatter optimization.
 	ZeroSkip bool
+
+	// Speeds, when non-empty, holds each cluster's relative effective
+	// speed (compute or link scale, whichever binds — see
+	// comm.ClusterSpeeds) and switches the batch shard from the equal
+	// B/Nc split to largest-remainder apportionment proportional to
+	// speed (comm.LoadAwareShards). len(Speeds) must equal Nc. Empty
+	// keeps the exact historical equal-split bounds, so homogeneous
+	// fleets are bit-identical to pre-profile builds. Identical
+	// (grid, Speeds) pairs always produce identical bounds, which is
+	// what makes post-rebalance recovery trajectories bit-exact.
+	Speeds []float64
 }
 
 // Traffic tallies real per-direction bytes moved by the engine, per
@@ -89,6 +101,9 @@ func NewEngine(tr *winograd.Transform, p conv.Params, cfg Config, rng *tensor.RN
 	if cfg.Ng > t2 {
 		return nil, fmt.Errorf("mpt: %d groups exceed %d tile elements", cfg.Ng, t2)
 	}
+	if len(cfg.Speeds) > 0 && len(cfg.Speeds) != cfg.Nc {
+		return nil, fmt.Errorf("mpt: %d cluster speeds for Nc=%d", len(cfg.Speeds), cfg.Nc)
+	}
 	tl, err := winograd.NewTiling(tr, p)
 	if err != nil {
 		return nil, err
@@ -128,14 +143,37 @@ func (e *Engine) SetWeights(w *winograd.Weights) { e.W = w.Clone() }
 // Weights returns the current (full) Winograd-domain weights.
 func (e *Engine) Weights() *winograd.Weights { return e.W }
 
-// shardBounds splits the batch into Nc near-equal cluster shards.
+// shardBounds splits the batch into Nc cluster shards: equal B/Nc splits
+// when Cfg.Speeds is empty, speed-proportional largest-remainder splits
+// otherwise.
 func (e *Engine) shardBounds(batch int) ([][2]int, error) {
-	if batch < e.Cfg.Nc {
-		return nil, fmt.Errorf("mpt: batch %d smaller than Nc=%d", batch, e.Cfg.Nc)
+	return shardBoundsFor(batch, e.Cfg.Nc, e.Cfg.Speeds)
+}
+
+// shardBoundsFor computes the [lo,hi) image ranges the Nc clusters own.
+// With no speeds it reproduces the historical c*batch/Nc formula exactly
+// (bit-compatible with pre-profile builds); with speeds it accumulates
+// comm.LoadAwareShards. Both paths are pure functions of (batch, nc,
+// speeds), so equal inputs always shard — and therefore accumulate
+// floating-point reductions — identically.
+func shardBoundsFor(batch, nc int, speeds []float64) ([][2]int, error) {
+	if batch < nc {
+		return nil, fmt.Errorf("mpt: batch %d smaller than Nc=%d", batch, nc)
 	}
-	out := make([][2]int, e.Cfg.Nc)
-	for c := 0; c < e.Cfg.Nc; c++ {
-		out[c] = [2]int{c * batch / e.Cfg.Nc, (c + 1) * batch / e.Cfg.Nc}
+	out := make([][2]int, nc)
+	if len(speeds) > 0 {
+		if len(speeds) != nc {
+			return nil, fmt.Errorf("mpt: %d cluster speeds for Nc=%d", len(speeds), nc)
+		}
+		lo := 0
+		for c, share := range comm.LoadAwareShards(batch, speeds) {
+			out[c] = [2]int{lo, lo + share}
+			lo += share
+		}
+		return out, nil
+	}
+	for c := 0; c < nc; c++ {
+		out[c] = [2]int{c * batch / nc, (c + 1) * batch / nc}
 	}
 	return out, nil
 }

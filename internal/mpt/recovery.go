@@ -3,6 +3,7 @@ package mpt
 import (
 	"fmt"
 
+	"mptwino/internal/comm"
 	"mptwino/internal/winograd"
 )
 
@@ -35,6 +36,11 @@ func (e *Engine) Reconfigure(ng, nc int) error {
 		return fmt.Errorf("mpt: %d groups exceed %d tile elements", ng, t2)
 	}
 	e.Cfg.Ng, e.Cfg.Nc = ng, nc
+	if len(e.Cfg.Speeds) != nc {
+		// A speed profile sized for the old grid cannot address the new
+		// clusters; drop it (Rebalance installs the survivor speeds).
+		e.Cfg.Speeds = nil
+	}
 	e.groupEls = e.groupEls[:0]
 	for g := 0; g < ng; g++ {
 		e.groupEls = append(e.groupEls, winograd.GroupElements(e.Tr.T, ng, g))
@@ -89,8 +95,85 @@ func (n *Net) Reconfigure(ng, nc int) error {
 		}
 	}
 	n.Cfg.Ng, n.Cfg.Nc = ng, nc
+	if len(n.Cfg.Speeds) != nc {
+		n.Cfg.Speeds = nil
+	}
 	n.masks = n.masks[:0]
 	n.tel.reconfigs.Inc()
 	n.event("reconfigure", map[string]any{"ng": ng, "nc": nc})
 	return nil
+}
+
+// Rebalance installs a per-cluster speed profile on every layer and
+// re-shards the next pass's batch proportionally (nil speeds revert to the
+// equal B/Nc split). It returns the migration bill: the activation bytes
+// that change cluster ownership under the new bounds, summed over layers —
+// each image outside the overlap of its old and new owning interval must
+// stream its per-layer input activations to the new owner. The recovery
+// sequence after module failures on a heterogeneous fleet is therefore
+// Reconfigure (survivor grid) → Rebalance (survivor speeds) → Restore
+// (checkpoint); because shard bounds are a pure function of (grid,
+// speeds), a rebalanced network trains bit-identically to one wired with
+// the same speeds from the start.
+func (n *Net) Rebalance(batch int, speeds []float64) (int64, error) {
+	if len(n.Engines) == 0 {
+		return 0, fmt.Errorf("mpt: empty network")
+	}
+	nc := n.Cfg.Nc
+	oldBounds, err := shardBoundsFor(batch, nc, n.Cfg.Speeds)
+	if err != nil {
+		return 0, err
+	}
+	newBounds, err := shardBoundsFor(batch, nc, speeds)
+	if err != nil {
+		return 0, err
+	}
+	// Images whose old and new owning intervals overlap stay put; the
+	// rest migrate.
+	staying := 0
+	for c := 0; c < nc; c++ {
+		lo, hi := oldBounds[c][0], newBounds[c][0]
+		if hi > lo {
+			lo = hi
+		}
+		hi = oldBounds[c][1]
+		if newBounds[c][1] < hi {
+			hi = newBounds[c][1]
+		}
+		if hi > lo {
+			staying += hi - lo
+		}
+	}
+	moved := int64(batch - staying)
+
+	var movedBytes int64
+	for _, e := range n.Engines {
+		perImage := 4 * int64(e.P.In) * int64(e.P.H) * int64(e.P.W)
+		movedBytes += moved * perImage
+		if speeds == nil {
+			e.Cfg.Speeds = nil
+		} else {
+			e.Cfg.Speeds = append([]float64(nil), speeds...)
+		}
+		e.lastX = nil
+	}
+	if speeds == nil {
+		n.Cfg.Speeds = nil
+	} else {
+		n.Cfg.Speeds = append([]float64(nil), speeds...)
+	}
+	n.masks = n.masks[:0]
+
+	shares := make([]int, nc)
+	for c, b := range newBounds {
+		shares[c] = b[1] - b[0]
+	}
+	n.tel.rebalances.Inc()
+	n.tel.rebalanceMoved.Add(movedBytes)
+	n.tel.imbalance.Set(comm.ImbalancePermille(shares))
+	n.event("rebalance", map[string]any{
+		"moved_images": moved, "moved_bytes": movedBytes,
+		"imbalance_permille": comm.ImbalancePermille(shares),
+	})
+	return movedBytes, nil
 }

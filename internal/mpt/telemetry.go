@@ -24,7 +24,12 @@ type netTel struct {
 	checkpoints *telemetry.Counter
 	restores    *telemetry.Counter
 	reconfigs   *telemetry.Counter
-	tracer      *telemetry.Tracer
+
+	rebalances     *telemetry.Counter
+	rebalanceMoved *telemetry.Counter
+	imbalance      *telemetry.Gauge
+
+	tracer *telemetry.Tracer
 
 	step int64   // logical clock: completed training steps
 	last Traffic // traffic totals at the previous step boundary
@@ -37,7 +42,10 @@ type netTel struct {
 // zero-skip compression ratio), mpt.gather_bytes, mpt.predict_bytes,
 // mpt.collective_bytes (ring reduce+broadcast volume), mpt.skipped_tiles /
 // mpt.total_tiles (the activation-prediction gather-skip rate), mpt.steps,
-// mpt.checkpoints, mpt.restores, mpt.reconfigs.
+// mpt.checkpoints, mpt.restores, mpt.reconfigs, mpt.rebalances, and
+// mpt.rebalance_moved_bytes (activation bytes migrated by load-aware
+// re-sharding). The mpt.imbalance_permille gauge holds the residual share
+// spread after the latest Rebalance.
 //
 // Trace events land in the telemetry.PIDMPT lane with the training-step
 // index as the timestamp: one counter-sample series ("traffic") of the
@@ -56,7 +64,12 @@ func (n *Net) Instrument(reg *telemetry.Registry, tr *telemetry.Tracer) {
 		checkpoints: reg.Counter("mpt.checkpoints"),
 		restores:    reg.Counter("mpt.restores"),
 		reconfigs:   reg.Counter("mpt.reconfigs"),
-		tracer:      tr,
+
+		rebalances:     reg.Counter("mpt.rebalances"),
+		rebalanceMoved: reg.Counter("mpt.rebalance_moved_bytes"),
+		imbalance:      reg.Gauge("mpt.imbalance_permille"),
+
+		tracer: tr,
 	}
 	tr.NameProcess(telemetry.PIDMPT, "mpt")
 	tr.NameThread(telemetry.PIDMPT, 0, "training steps")

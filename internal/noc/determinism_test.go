@@ -96,6 +96,12 @@ func TestParallelStepBitIdentical(t *testing.T) {
 			return topology.FBFly2D(4), DefaultConfig(),
 				&AllToAll{Members: members(16), Bytes: 1024}, plan
 		}},
+		{"fleet-profiles-with-drops", func() (*topology.Graph, Config, Driver, *fault.Plan) {
+			plan := fault.MixedGenerationPlan(42, 16, 0.7, 0.5).
+				DropOnLink(2, 3, 0, 5000, 0.2)
+			return topology.FBFly2D(4), DefaultConfig(),
+				&AllToAll{Members: members(16), Bytes: 1024}, plan
+		}},
 	}
 	for _, sc := range scenarios {
 		t.Run(sc.name, func(t *testing.T) {

@@ -264,3 +264,57 @@ func TestScheduledFailureDeterminism(t *testing.T) {
 		t.Fatalf("scheduled-failure run diverged:\n%+v\n%+v", a, b)
 	}
 }
+
+// TestProfileLinkScaleSlows: a module capability profile derates every
+// link the module terminates, throttling throughput like a bandwidth
+// fault but fleet-wide and without any fault window.
+func TestProfileLinkScaleSlows(t *testing.T) {
+	healthy, err := faultRun(t, nil, 0, 1, 3000, 200000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := fault.NewPlan(3).ProfileModule(fault.ModuleProfile{Module: 1, LinkScale: 0.25})
+	slow, err := faultRun(t, plan, 0, 1, 3000, 200000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow.DroppedFlits != 0 || slow.Retransmits != 0 {
+		t.Fatal("capability derating dropped flits")
+	}
+	if float64(slow.Cycles) < 2.5*float64(healthy.Cycles) {
+		t.Fatalf("0.25× link profile: %d cycles vs healthy %d (want ≳3.3×)", slow.Cycles, healthy.Cycles)
+	}
+	// The slower endpoint gates the link: a profile on the *other* endpoint
+	// of the same traffic throttles identically.
+	planFrom := fault.NewPlan(3).ProfileModule(fault.ModuleProfile{Module: 0, LinkScale: 0.25})
+	slowFrom, err := faultRun(t, planFrom, 0, 1, 3000, 200000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slowFrom.Cycles != slow.Cycles {
+		t.Fatalf("profile on src gave %d cycles, on dst %d — endpoints should gate symmetrically",
+			slowFrom.Cycles, slow.Cycles)
+	}
+}
+
+// TestProfileScaleComposesWithFaults: a profiled link that also suffers a
+// bandwidth fault runs at the product of the two scales.
+func TestProfileScaleComposesWithFaults(t *testing.T) {
+	plan := fault.NewPlan(3).
+		ProfileModule(fault.ModuleProfile{Module: 1, LinkScale: 0.5}).
+		DegradeLink(0, 1, 0, 0, 0.5, 0)
+	both, err := faultRun(t, plan, 0, 1, 3000, 200000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	quarter := fault.NewPlan(3).DegradeLink(0, 1, 0, 0, 0.25, 0)
+	ref, err := faultRun(t, quarter, 0, 1, 3000, 200000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same effective 0.25× rate on the bottleneck link; allow a small
+	// difference from the ring's unfaulted reverse path.
+	if d := both.Cycles - ref.Cycles; d < -100 || d > 100 {
+		t.Fatalf("0.5 profile × 0.5 fault ran %d cycles, 0.25 fault alone %d", both.Cycles, ref.Cycles)
+	}
+}

@@ -155,6 +155,13 @@ type link struct {
 	faults []fault.LinkFault // active plan entries for this link
 	credit float64           // fractional-bandwidth accumulator while degraded
 	dead   bool              // endpoint module failed; link is gone
+
+	// profileScale derates the link for the capability model: the minimum
+	// of the endpoints' ModuleProfile link scales (1 = nominal). Unlike
+	// fault windows it is static for a run, so it is resolved once at
+	// AttachFaults and folded into the same fractional-credit budget the
+	// bandwidth faults use.
+	profileScale float64
 }
 
 // Network is the simulation instance.
@@ -231,11 +238,12 @@ func New(g *topology.Graph, cfg Config) *Network {
 	for from := 0; from < g.N; from++ {
 		for _, e := range g.Adj[from] {
 			l := &link{
-				from:        from,
-				to:          e.To,
-				class:       e.Class,
-				flitsPerCyc: int(e.Class.Bandwidth() / cfg.ClockHz / float64(cfg.FlitBytes)),
-				latency:     int64(cfg.SerDesCycles),
+				from:         from,
+				to:           e.To,
+				class:        e.Class,
+				flitsPerCyc:  int(e.Class.Bandwidth() / cfg.ClockHz / float64(cfg.FlitBytes)),
+				latency:      int64(cfg.SerDesCycles),
+				profileScale: 1,
 			}
 			if l.flitsPerCyc < 1 {
 				l.flitsPerCyc = 1
@@ -261,8 +269,10 @@ func New(g *topology.Graph, cfg Config) *Network {
 }
 
 // AttachFaults installs a deterministic fault plan: links cache their own
-// fault entries for per-cycle consultation, and scheduled module failures
-// are queued for execution at their cycle. Must be called before Run/Step.
+// fault entries for per-cycle consultation, scheduled module failures are
+// queued for execution at their cycle, and module capability profiles
+// derate each link to the slower endpoint's SerDes scale. Must be called
+// before Run/Step.
 func (n *Network) AttachFaults(p *fault.Plan) error {
 	if err := p.Validate(n.G.N); err != nil {
 		return err
@@ -270,6 +280,10 @@ func (n *Network) AttachFaults(p *fault.Plan) error {
 	n.plan = p
 	for _, l := range n.links {
 		l.faults = p.LinkFaultsFor(l.from, l.to)
+		l.profileScale = p.ProfileFor(l.from).EffectiveLinkScale()
+		if s := p.ProfileFor(l.to).EffectiveLinkScale(); s < l.profileScale {
+			l.profileScale = s
+		}
 	}
 	n.pendingFailures = p.NodeFailuresSorted()
 	return nil

@@ -162,20 +162,22 @@ func (n *Network) transmitLink(li int, sc *stepScratch) {
 	}
 	budget := l.flitsPerCyc
 	latency := l.latency
+	scale := l.profileScale // static capability derating (1 = nominal)
 	if len(l.faults) > 0 {
-		scale, extra := fault.LinkState(l.faults, n.now)
+		fs, extra := fault.LinkState(l.faults, n.now)
 		latency += int64(extra)
-		if scale <= 0 {
-			return
+		scale *= fs
+	}
+	if scale <= 0 {
+		return
+	}
+	if scale < 1 {
+		l.credit += scale * float64(l.flitsPerCyc)
+		budget = int(l.credit)
+		if budget < 1 {
+			return // sub-flit credit accumulates for later cycles
 		}
-		if scale < 1 {
-			l.credit += scale * float64(l.flitsPerCyc)
-			budget = int(l.credit)
-			if budget < 1 {
-				return // sub-flit credit accumulates for later cycles
-			}
-			l.credit -= float64(budget)
-		}
+		l.credit -= float64(budget)
 	}
 	sources := n.arbSources(l.from, li)
 	ns := len(sources)

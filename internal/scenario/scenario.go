@@ -1,0 +1,222 @@
+// Package scenario runs the deterministic degraded-fleet scenario matrix:
+// a seed-pinned grid of {fleet/fault class × network} simulated under the
+// full MPT configuration, reporting per-scenario throughput, slowdown
+// versus the healthy fleet, achieved-versus-lower-bound communication
+// bytes, recovery cost, and residual shard imbalance. Every cell derives
+// from the deterministic fault plans and the sim package's
+// schedule-invariant cost model, so the emitted table is byte-identical at
+// any host worker count — CI diffs it against a committed golden.
+package scenario
+
+import (
+	"fmt"
+
+	"mptwino/internal/fault"
+	"mptwino/internal/model"
+	"mptwino/internal/sim"
+)
+
+// Horizon is the pinned cycle window [0, Horizon) thermal-throttle
+// episodes duty-average over when fleet plans fold into speed slices.
+const Horizon = 1 << 20
+
+// FleetClass is one fleet condition of the matrix: a capability-profile
+// plan (nil = homogeneous fleet), plus permanently dead modules. The plan
+// builder takes the provisioned worker count so one class definition works
+// at any fleet size.
+type FleetClass struct {
+	Name   string
+	Plan   func(workers int) *fault.Plan
+	Failed []int
+}
+
+// Classes returns the canonical fleet conditions, healthy first. Seeds are
+// pinned: the matrix must reproduce byte-identically forever.
+func Classes() []FleetClass {
+	return []FleetClass{
+		{Name: "healthy"},
+		{Name: "straggler-half", Plan: func(w int) *fault.Plan {
+			return fault.SlowStragglerPlan(101, w, 17, 0.5)
+		}},
+		{Name: "straggler-quarter", Plan: func(w int) *fault.Plan {
+			return fault.SlowStragglerPlan(103, w, 42, 0.25)
+		}},
+		{Name: "throttled-region", Plan: func(w int) *fault.Plan {
+			// A hot quadrant: modules [64, 96) throttle to 0.6 over the
+			// first half of the horizon (duty-averaged speed 0.8).
+			return fault.ThrottledRegionPlan(107, w, 64, 96, 0.6, 0, Horizon/2)
+		}},
+		{Name: "mixed-generation", Plan: func(w int) *fault.Plan {
+			return fault.MixedGenerationPlan(109, w, 0.7, 0.5)
+		}},
+		{Name: "dead-module", Failed: []int{17}},
+		{Name: "dead-straggler", Failed: []int{17}, Plan: func(w int) *fault.Plan {
+			return fault.SlowStragglerPlan(113, w, 42, 0.5)
+		}},
+	}
+}
+
+// Networks returns the evaluated CNNs in presentation order.
+func Networks() []model.Network {
+	return []model.Network{model.WRN40x10(), model.ResNet34(), model.FractalNet44()}
+}
+
+// Row is one scenario cell of the matrix.
+type Row struct {
+	Class   string
+	Network string
+	Config  sim.SystemConfig
+
+	Workers   int
+	Survivors int
+
+	IterationSec float64
+	ImagesPerSec float64
+	// Slowdown is the cell's iteration time relative to the healthy
+	// homogeneous fleet on the same network (1.0 on the healthy row).
+	Slowdown float64
+
+	// AchievedBytes is the per-worker communication total (tile + ring
+	// collective fabrics, layer repeats applied); BoundBytes is the dense
+	// per-worker floor (comm.LowerBoundBytes) summed the same way.
+	// Reductions can push achieved below the dense bound.
+	AchievedBytes int64
+	BoundBytes    int64
+
+	// ReconfigSec is the one-time recovery cost (0 without failures).
+	ReconfigSec float64
+
+	// ImbalancePermille is the worst per-layer residual shard imbalance.
+	ImbalancePermille int64
+}
+
+// LayerRow is one layer of one scenario cell: the achieved-vs-bound bytes
+// the acceptance criterion asks for, with the chosen grid.
+type LayerRow struct {
+	Class   string
+	Network string
+	Layer   string
+	Ng, Nc  int
+
+	AchievedBytes int64 // per worker, one layer instance (repeat not applied)
+	BoundBytes    int64
+}
+
+// Matrix is one full scenario-matrix run.
+type Matrix struct {
+	Workers int
+	Config  sim.SystemConfig
+	Rows    []Row
+	Layers  []LayerRow
+}
+
+// Options configures a matrix run.
+type Options struct {
+	// Workers is the provisioned fleet size (0 = the paper's 256).
+	Workers int
+	// Parallel bounds the sim host goroutines (0 = GOMAXPROCS); the
+	// output is byte-identical for every value.
+	Parallel int
+	// Smoke trims the grid to {healthy, straggler-half, dead-straggler} ×
+	// {WRN-40-10} — the fast subset `make verify` runs.
+	Smoke bool
+}
+
+// Run executes the matrix. Iteration order (classes outer, networks inner)
+// and every simulated value are deterministic, so two runs with equal
+// Options produce identical matrices.
+func Run(opt Options) Matrix {
+	workers := opt.Workers
+	if workers == 0 {
+		workers = 256
+	}
+	classes := Classes()
+	nets := Networks()
+	if opt.Smoke {
+		classes = []FleetClass{classes[0], classes[1], classes[6]}
+		nets = nets[:1]
+	}
+	const cfg = sim.WMpFull
+
+	m := Matrix{Workers: workers, Config: cfg}
+
+	// Healthy homogeneous baselines, one per network, shared by every
+	// class's slowdown column.
+	healthy := make(map[string]sim.NetworkResult, len(nets))
+	for _, net := range nets {
+		s := baseSystem(workers, opt.Parallel)
+		healthy[net.Name] = s.SimulateNetwork(net, cfg)
+	}
+
+	for _, cl := range classes {
+		for _, net := range nets {
+			s := baseSystem(workers, opt.Parallel)
+			if cl.Plan != nil {
+				plan := cl.Plan(workers)
+				s.ComputeSpeeds, s.LinkSpeeds = plan.ModuleSpeeds(workers, 0, Horizon)
+				s.LoadAware = true
+			}
+
+			var (
+				res         sim.NetworkResult
+				survivors   = workers
+				reconfigSec float64
+			)
+			if len(cl.Failed) > 0 {
+				rec, err := s.SimulateNetworkWithFailure(net, cfg, cl.Failed)
+				if err != nil {
+					// Class definitions are static and validated by the
+					// package tests; an error here is a programming bug.
+					panic(fmt.Sprintf("scenario %s/%s: %v", cl.Name, net.Name, err))
+				}
+				res = rec.Degraded
+				survivors = rec.Survivors
+				reconfigSec = rec.ReconfigSec
+			} else {
+				res = s.SimulateNetwork(net, cfg)
+			}
+
+			row := Row{
+				Class:        cl.Name,
+				Network:      net.Name,
+				Config:       cfg,
+				Workers:      workers,
+				Survivors:    survivors,
+				IterationSec: res.IterationSec,
+				ImagesPerSec: res.ImagesPerSec,
+				ReconfigSec:  reconfigSec,
+			}
+			if h := healthy[net.Name].IterationSec; h > 0 {
+				row.Slowdown = res.IterationSec / h
+			}
+			for i, lr := range res.Layers {
+				rep := int64(net.Layers[i].EffectiveRepeat())
+				achieved := lr.TileBytes + lr.CollBytes
+				row.AchievedBytes += achieved * rep
+				row.BoundBytes += lr.BoundBytes * rep
+				if lr.ShareImbalance > row.ImbalancePermille {
+					row.ImbalancePermille = lr.ShareImbalance
+				}
+				m.Layers = append(m.Layers, LayerRow{
+					Class:         cl.Name,
+					Network:       net.Name,
+					Layer:         lr.Name,
+					Ng:            lr.Ng,
+					Nc:            lr.Nc,
+					AchievedBytes: achieved,
+					BoundBytes:    lr.BoundBytes,
+				})
+			}
+			m.Rows = append(m.Rows, row)
+		}
+	}
+	return m
+}
+
+// baseSystem returns the evaluation machine one cell simulates on.
+func baseSystem(workers, par int) sim.System {
+	s := sim.DefaultSystem()
+	s.Workers = workers
+	s.Parallel = par
+	return s
+}

@@ -1,0 +1,127 @@
+package scenario
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden scenario tables")
+
+// renderMatrix runs the matrix at the given host parallelism and returns
+// the emitted TSV bytes.
+func renderMatrix(t *testing.T, opt Options) []byte {
+	t.Helper()
+	m := Run(opt)
+	var buf bytes.Buffer
+	if err := m.WriteTSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// checkGolden compares got against the committed golden, rewriting it
+// under -update.
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("scenario table differs from %s (regenerate with -update if the change is intended)", path)
+	}
+}
+
+// TestMatrixGolden pins the full matrix's bytes against the committed
+// golden — the table CI publishes and diffs.
+func TestMatrixGolden(t *testing.T) {
+	checkGolden(t, "scenarios_golden.tsv", renderMatrix(t, Options{}))
+}
+
+// TestMatrixSmokeGolden pins the `make verify` fast subset.
+func TestMatrixSmokeGolden(t *testing.T) {
+	checkGolden(t, "scenarios_smoke_golden.tsv", renderMatrix(t, Options{Smoke: true}))
+}
+
+// TestMatrixDeterministicAcrossWorkers is the acceptance criterion: the
+// emitted table must be byte-identical at host worker counts {1, 2, 8}.
+func TestMatrixDeterministicAcrossWorkers(t *testing.T) {
+	ref := renderMatrix(t, Options{Parallel: 1})
+	for _, workers := range []int{2, 8} {
+		got := renderMatrix(t, Options{Parallel: workers})
+		if !bytes.Equal(ref, got) {
+			t.Errorf("parallel=%d: scenario table differs from parallel=1", workers)
+		}
+	}
+}
+
+// TestMatrixSanity checks the physics of the full matrix: healthy rows at
+// slowdown 1, every degraded class at >= 1, failure classes reporting
+// survivors and a recovery bill, heterogeneous classes reporting residual
+// imbalance, and every row carrying a positive communication bound.
+func TestMatrixSanity(t *testing.T) {
+	m := Run(Options{})
+	if len(m.Rows) != len(Classes())*len(Networks()) {
+		t.Fatalf("matrix has %d rows", len(m.Rows))
+	}
+	imbalanced := map[string]bool{}
+	for _, r := range m.Rows {
+		if r.IterationSec <= 0 || r.ImagesPerSec <= 0 {
+			t.Errorf("%s/%s: degenerate throughput %+v", r.Class, r.Network, r)
+		}
+		if r.BoundBytes <= 0 || r.AchievedBytes <= 0 {
+			t.Errorf("%s/%s: missing byte accounting (achieved %d, bound %d)",
+				r.Class, r.Network, r.AchievedBytes, r.BoundBytes)
+		}
+		switch r.Class {
+		case "healthy":
+			if r.Slowdown != 1 {
+				t.Errorf("healthy/%s: slowdown %v != 1", r.Network, r.Slowdown)
+			}
+			if r.ImbalancePermille != 0 {
+				t.Errorf("healthy/%s: imbalance %d", r.Network, r.ImbalancePermille)
+			}
+		default:
+			if r.Slowdown < 1 {
+				t.Errorf("%s/%s: degraded run faster than healthy (%v)", r.Class, r.Network, r.Slowdown)
+			}
+		}
+		if r.Class == "dead-module" || r.Class == "dead-straggler" {
+			if r.Survivors != r.Workers-1 {
+				t.Errorf("%s/%s: survivors %d of %d", r.Class, r.Network, r.Survivors, r.Workers)
+			}
+			if r.ReconfigSec <= 0 {
+				t.Errorf("%s/%s: free recovery", r.Class, r.Network)
+			}
+		} else if r.Survivors != r.Workers || r.ReconfigSec != 0 {
+			t.Errorf("%s/%s: phantom failure (survivors %d, reconfig %v)",
+				r.Class, r.Network, r.Survivors, r.ReconfigSec)
+		}
+		if r.ImbalancePermille > 0 {
+			imbalanced[r.Class] = true
+		}
+	}
+	for _, cl := range []string{"straggler-half", "straggler-quarter"} {
+		if !imbalanced[cl] {
+			t.Errorf("%s: load-aware sharding reported no residual imbalance on any network", cl)
+		}
+	}
+	for _, l := range m.Layers {
+		if l.BoundBytes <= 0 {
+			t.Errorf("layer row %s/%s/%s: bound %d", l.Class, l.Network, l.Layer, l.BoundBytes)
+		}
+		if l.Ng < 1 || l.Nc < 1 {
+			t.Errorf("layer row %s/%s/%s: grid (%d,%d)", l.Class, l.Network, l.Layer, l.Ng, l.Nc)
+		}
+	}
+}

@@ -1,0 +1,43 @@
+package scenario
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// WriteTSV emits the matrix as a machine-readable tab-separated table:
+// a header comment pinning the run parameters, the scenario rows, then a
+// [layers] section with per-layer achieved-vs-bound bytes. All floats use
+// fixed precision and every simulated value is deterministic, so the bytes
+// are identical across runs, host worker counts, and machines — the
+// property the committed golden and the CI diff rely on.
+func (m Matrix) WriteTSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# mptwino scenario matrix\tworkers=%d\tconfig=%s\thorizon=%d\n",
+		m.Workers, m.Config, int64(Horizon))
+	fmt.Fprintln(bw, "scenario\tnetwork\tconfig\tworkers\tsurvivors\titer_ms\timg_per_s\tslowdown\tachieved_bytes\tbound_bytes\tbound_ratio\treconfig_us\timbalance_permille")
+	for _, r := range m.Rows {
+		ratio := 0.0
+		if r.BoundBytes > 0 {
+			ratio = float64(r.AchievedBytes) / float64(r.BoundBytes)
+		}
+		fmt.Fprintf(bw, "%s\t%s\t%s\t%d\t%d\t%.6f\t%.3f\t%.4f\t%d\t%d\t%.4f\t%.3f\t%d\n",
+			r.Class, r.Network, r.Config, r.Workers, r.Survivors,
+			r.IterationSec*1e3, r.ImagesPerSec, r.Slowdown,
+			r.AchievedBytes, r.BoundBytes, ratio,
+			r.ReconfigSec*1e6, r.ImbalancePermille)
+	}
+	fmt.Fprintln(bw, "[layers]")
+	fmt.Fprintln(bw, "scenario\tnetwork\tlayer\tng\tnc\tachieved_bytes\tbound_bytes\tbound_ratio")
+	for _, l := range m.Layers {
+		ratio := 0.0
+		if l.BoundBytes > 0 {
+			ratio = float64(l.AchievedBytes) / float64(l.BoundBytes)
+		}
+		fmt.Fprintf(bw, "%s\t%s\t%s\t%d\t%d\t%d\t%d\t%.4f\n",
+			l.Class, l.Network, l.Layer, l.Ng, l.Nc,
+			l.AchievedBytes, l.BoundBytes, ratio)
+	}
+	return bw.Flush()
+}

@@ -113,6 +113,26 @@ type System struct {
 	// ChunkBytes is the collective packet size (256 B).
 	ChunkBytes int
 
+	// ComputeSpeeds and LinkSpeeds hold per-module capability multipliers
+	// in (0, 1] (index = physical module id; nil means a homogeneous fleet)
+	// — typically fault.Plan.ModuleSpeeds output. Setting either opts the
+	// layer cost model into the heterogeneous-fleet barrier of fleet.go:
+	// the synchronous step is gated by the slowest cluster's share/speed
+	// ratio. All-1.0 slices reproduce the homogeneous results bit-exactly.
+	ComputeSpeeds []float64
+	LinkSpeeds    []float64
+
+	// ActiveModules maps worker-grid slots to physical module ids (nil =
+	// identity). The fault-recovery path installs the compacted survivor
+	// ids so the speed slices keep addressing the right modules after
+	// failures renumber the grid.
+	ActiveModules []int
+
+	// LoadAware apportions the batch across clusters proportional to
+	// effective cluster speed instead of equally — the heterogeneous-fleet
+	// counterpart of the paper's B/Nc split (comm.LoadAwareShards).
+	LoadAware bool
+
 	// Metrics and Trace attach the deterministic telemetry layer (nil =
 	// disabled, the default). Counters are atomic sums bumped from the
 	// sweep's worker goroutines (order-independent, so totals are

@@ -80,6 +80,13 @@ func (s System) SimulateNetworkWithFailure(net model.Network, c SystemConfig, fa
 	ds := s
 	ds.Workers = survivors
 	ds.Menu = comm.SurvivorConfigs(survivors)
+	if s.fleetActive() {
+		// Keep the capability profiles addressed to the right physical
+		// modules: the survivor grid compacts over the living ids, so map
+		// grid slots back through the pre-failure module list minus the
+		// dead.
+		ds.ActiveModules = survivorModules(s.activeModules(s.Workers), uniq)
+	}
 	res.Degraded = ds.SimulateNetwork(net, c)
 
 	res.ReconfigSec = rewireSec + s.reshardSeconds(net, c, res.Degraded)
@@ -101,6 +108,23 @@ func (s System) SimulateNetworkWithFailure(net model.Network, c SystemConfig, fa
 // recoveryTID is the trace thread row for fault-recovery events, clear of
 // the per-config rows (tid = int(SystemConfig)).
 const recoveryTID = 100
+
+// survivorModules removes the failed module ids (sorted ascending) from
+// the grid-ordered module list, preserving order — the compaction the
+// degraded worker grid applies.
+func survivorModules(modules, failed []int) []int {
+	dead := make(map[int]bool, len(failed))
+	for _, f := range failed {
+		dead[f] = true
+	}
+	out := make([]int, 0, len(modules)-len(failed))
+	for _, m := range modules {
+		if !dead[m] {
+			out = append(out, m)
+		}
+	}
+	return out
+}
 
 // reshardSeconds prices the weight redistribution a wiring change implies:
 // each surviving worker streams its new per-layer weight shard (the

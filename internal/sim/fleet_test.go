@@ -1,0 +1,154 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"mptwino/internal/fault"
+	"mptwino/internal/model"
+)
+
+// stragglerSystem returns the default machine with one half-speed module
+// and load-aware sharding toggled by the caller.
+func stragglerSystem(loadAware bool) System {
+	s := DefaultSystem()
+	plan := fault.SlowStragglerPlan(1, s.Workers, 17, 0.5)
+	s.ComputeSpeeds, s.LinkSpeeds = plan.ModuleSpeeds(s.Workers, 0, 1)
+	s.LoadAware = loadAware
+	return s
+}
+
+// TestFleetHomogeneousBitIdentical asserts that all-1.0 speed slices are a
+// bit-exact no-op: the stretch factors collapse to exactly 1.0, so the
+// profiled path must reproduce the nil-speeds results field for field.
+func TestFleetHomogeneousBitIdentical(t *testing.T) {
+	net := model.FractalNet44()
+	for _, c := range AllConfigs() {
+		plain := DefaultSystem()
+		want := plain.SimulateNetwork(net, c)
+
+		ones := DefaultSystem()
+		ones.ComputeSpeeds = make([]float64, ones.Workers)
+		ones.LinkSpeeds = make([]float64, ones.Workers)
+		for i := range ones.ComputeSpeeds {
+			ones.ComputeSpeeds[i] = 1
+			ones.LinkSpeeds[i] = 1
+		}
+		got := ones.SimulateNetwork(net, c)
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("config %s: all-1.0 fleet profile perturbed the result", c)
+		}
+	}
+}
+
+// TestFleetDeterministicAcrossWorkers extends the worker-count determinism
+// contract to the heterogeneous path: straggler profile + load-aware
+// sharding must produce byte-identical results at workers {1, 2, 8}.
+func TestFleetDeterministicAcrossWorkers(t *testing.T) {
+	net := model.ResNet34()
+	for _, c := range AllConfigs() {
+		var ref NetworkResult
+		for i, workers := range []int{1, 2, 8} {
+			s := stragglerSystem(true)
+			s.Parallel = workers
+			r := s.SimulateNetwork(net, c)
+			if i == 0 {
+				ref = r
+				continue
+			}
+			if !reflect.DeepEqual(ref, r) {
+				t.Errorf("config %s: workers=%d heterogeneous result differs from workers=1", c, workers)
+			}
+		}
+	}
+}
+
+// TestLoadAwareBeatsEqualOnStraggler is the acceptance criterion: on the
+// slow-straggler fleet, load-aware sharding must beat the equal B/Nc split
+// on simulated step time for the full MPT config, and the straggler must
+// cost something in the first place.
+func TestLoadAwareBeatsEqualOnStraggler(t *testing.T) {
+	net := model.WRN40x10()
+	healthy := DefaultSystem().SimulateNetwork(net, WMpFull)
+	equal := stragglerSystem(false).SimulateNetwork(net, WMpFull)
+	aware := stragglerSystem(true).SimulateNetwork(net, WMpFull)
+
+	if equal.IterationSec <= healthy.IterationSec {
+		t.Fatalf("straggler cost nothing: healthy %v, equal-split %v",
+			healthy.IterationSec, equal.IterationSec)
+	}
+	if aware.IterationSec >= equal.IterationSec {
+		t.Fatalf("load-aware %v does not beat equal split %v",
+			aware.IterationSec, equal.IterationSec)
+	}
+	// The straggler gates a full equal-split cluster at 2x; load-aware
+	// sharding should recover most of that, landing well under the
+	// midpoint between equal-split and healthy.
+	mid := (equal.IterationSec + healthy.IterationSec) / 2
+	if aware.IterationSec > mid {
+		t.Errorf("load-aware %v recovered less than half the straggler penalty (healthy %v, equal %v)",
+			aware.IterationSec, healthy.IterationSec, equal.IterationSec)
+	}
+}
+
+// TestFleetBoundBytesReported asserts every simulated layer carries the
+// dense communication floor and that achieved tile+collective traffic is
+// positive where the bound is.
+func TestFleetBoundBytesReported(t *testing.T) {
+	net := model.WRN40x10()
+	r := DefaultSystem().SimulateNetwork(net, WMpFull)
+	for _, lr := range r.Layers {
+		if lr.BoundBytes <= 0 {
+			t.Errorf("layer %s: BoundBytes = %d", lr.Name, lr.BoundBytes)
+		}
+	}
+}
+
+// TestFleetImbalanceReported asserts the load-aware straggler run reports
+// a non-zero residual imbalance (the straggler cluster holds fewer
+// samples) and the homogeneous run reports none.
+func TestFleetImbalanceReported(t *testing.T) {
+	net := model.WRN40x10()
+	aware := stragglerSystem(true).SimulateNetwork(net, WMp)
+	seen := false
+	for _, lr := range aware.Layers {
+		if lr.ShareImbalance > 0 {
+			seen = true
+		}
+	}
+	if !seen {
+		t.Error("load-aware straggler run reported zero imbalance everywhere")
+	}
+	plain := DefaultSystem().SimulateNetwork(net, WMp)
+	for _, lr := range plain.Layers {
+		if lr.ShareImbalance != 0 {
+			t.Errorf("homogeneous layer %s reports imbalance %d", lr.Name, lr.ShareImbalance)
+		}
+	}
+}
+
+// TestFleetFailureRecoveryWithProfiles runs the degraded path with both a
+// dead module and a straggler profile: recovery must re-map speeds onto
+// the survivor grid and still produce a valid slowdown.
+func TestFleetFailureRecoveryWithProfiles(t *testing.T) {
+	s := stragglerSystem(true)
+	net := model.WRN40x10()
+	res, err := s.SimulateNetworkWithFailure(net, WMpFull, []int{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Survivors != s.Workers-1 {
+		t.Fatalf("survivors = %d", res.Survivors)
+	}
+	if res.Slowdown() < 1 {
+		t.Errorf("degraded run faster than healthy: slowdown %v", res.Slowdown())
+	}
+	// Survivor compaction drops module 3; module 17's straggler profile
+	// must still land on slot 16 of the compacted grid.
+	ds := s
+	ds.Workers = res.Survivors
+	mods := survivorModules(s.activeModules(s.Workers), res.Failed)
+	if mods[16] != 17 {
+		t.Fatalf("survivor slot 16 holds module %d, want 17", mods[16])
+	}
+}

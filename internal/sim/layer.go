@@ -64,6 +64,17 @@ type LayerResult struct {
 	// evaluated for this layer (empty for fixed-grid configs). The chosen
 	// entry is the earliest with the strictly smallest total time.
 	Menu []MenuCell
+
+	// BoundBytes is the layer's dense per-worker communication floor —
+	// the minimum no-reduction traffic over the clustering menu
+	// (comm.LowerBoundBytes) — against which the scenario matrix reports
+	// achieved bytes. Identical across configs of one layer.
+	BoundBytes int64
+
+	// ShareImbalance is the residual spread of the realizable integer
+	// batch sharding in permille (comm.ImbalancePermille); 0 on healthy
+	// equal splits and on homogeneous systems without fleet profiles.
+	ShareImbalance int64
 }
 
 // MenuCell is one evaluated dynamic-clustering candidate.
@@ -191,10 +202,13 @@ func (s System) SimulateLayer(l model.Layer, batch int, c SystemConfig) LayerRes
 		for i, r := range results {
 			best.Menu[i] = MenuCell{Ng: r.Ng, Nc: r.Nc, TotalSec: r.TotalSec()}
 		}
+		best.BoundBytes = comm.LowerBoundBytes(l.P, batch, menu)
 		return best
 	}
 	st, tr := s.strategyFor(c, l.P, batch)
-	return s.simulateWithStrategy(l, batch, c, st, tr)
+	res := s.simulateWithStrategy(l, batch, c, st, tr)
+	res.BoundBytes = comm.LowerBoundBytes(l.P, batch, s.clusterMenu())
+	return res
 }
 
 // simulateWithStrategy runs the layer under an explicit strategy.
@@ -207,6 +221,13 @@ func (s System) simulateWithStrategy(l model.Layer, batch int, c SystemConfig, s
 		fwd, bwd = s.directPhases(p, batch)
 	} else {
 		fwd, bwd = s.winogradPhases(p, batch, st, tr, l.EffectiveGatherScale())
+	}
+
+	if s.fleetActive() {
+		ff := s.fleetFactors(st, batch)
+		ff.apply(&fwd)
+		ff.apply(&bwd)
+		res.ShareImbalance = comm.ImbalancePermille(ff.shares)
 	}
 
 	res.ForwardSec = fwd.seconds()

@@ -50,6 +50,7 @@ func (s System) assembleNetwork(net model.Network, c SystemConfig, layers []Laye
 		res.ImagesPerSec = float64(net.Batch) / res.IterationSec
 		res.PowerW = res.Energy.Total() / res.IterationSec
 	}
+	s.recordFleetSpeeds()
 	s.traceNetwork(net, c, res)
 	return res
 }

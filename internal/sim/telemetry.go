@@ -25,6 +25,9 @@ func (s System) countLayer(lr LayerResult) {
 	s.Metrics.Counter("sim.tile_bytes").Add(lr.TileBytes)
 	s.Metrics.Counter("sim.coll_bytes").Add(lr.CollBytes)
 	s.Metrics.Counter("sim.dram_bytes").Add(lr.DRAMBytes)
+	// Worst residual sharding imbalance across layers; Max folds
+	// commutatively, so the gauge is schedule-independent.
+	s.Metrics.Gauge("sim.imbalance_permille").Max(lr.ShareImbalance)
 }
 
 // traceNetwork emits the per-layer phase spans of one assembled network
