@@ -6,9 +6,15 @@
 GO ?= go
 STATICCHECK_VERSION ?= 2025.1
 
-.PHONY: verify build vet lint lint-ci test race fuzz bench bench-baseline benchdiff profile trace scenarios scenarios-smoke
+.PHONY: verify fmt-check build vet lint lint-ci test race fuzz bench bench-baseline benchdiff profile trace scenarios scenarios-smoke autoplan
 
-verify: build vet lint scenarios-smoke test race
+verify: fmt-check build vet lint scenarios-smoke test race
+
+# gofmt gate: fails listing the offending files (gofmt -l prints paths and
+# exits 0, so the emptiness of its output is the check).
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 build:
 	$(GO) build ./...
@@ -70,6 +76,18 @@ trace:
 scenarios:
 	$(GO) run ./cmd/mptsim -scenarios -scenarios-out scenarios.tsv
 	@echo "wrote scenarios.tsv"
+
+# Per-layer parallelization-strategy auto-search (DESIGN.md §12): emit the
+# deterministic plan dumps for the planner workloads and diff them against
+# the committed goldens (internal/planner/testdata; refresh with
+# `go test ./internal/planner -run Golden -update`). CI runs the same
+# commands in the autoplan job and uploads the dumps as artifacts.
+autoplan:
+	$(GO) run ./cmd/mptsim -net alexnet -autoplan -autoplan-out plan_alexnet.tsv
+	$(GO) run ./cmd/mptsim -net vgg -autoplan -autoplan-out plan_vgg16.tsv
+	diff -u internal/planner/testdata/plan_alexnet.tsv plan_alexnet.tsv
+	diff -u internal/planner/testdata/plan_vgg16.tsv plan_vgg16.tsv
+	@echo "wrote plan_alexnet.tsv plan_vgg16.tsv (match committed goldens)"
 
 # Fast smoke subset of the scenario-matrix golden — part of `make verify`
 # (the full grid runs in the regular test suite and in the CI matrix job).

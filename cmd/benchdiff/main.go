@@ -35,6 +35,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"regexp"
 	"runtime"
 	"sort"
 	"strconv"
@@ -119,8 +120,14 @@ func main() {
 		fatal(err)
 	}
 	reportTelemetryOverhead(snap)
-	if failures := diff(base, snap, *mtol, *tol, *gateTimes, *gateAllocs); failures > 0 {
+	failures, missing := diff(base, snap, *benchRe, *mtol, *tol, *gateTimes, *gateAllocs)
+	if missing > 0 {
+		fmt.Printf("benchdiff: FAIL — %d baseline benchmark(s) absent from this run: deleted or renamed? re-record the baseline with `go run ./cmd/benchdiff -update`\n", missing)
+	}
+	if failures > 0 {
 		fmt.Printf("benchdiff: FAIL — %d regression(s) vs %s\n", failures, *baseline)
+	}
+	if failures+missing > 0 {
 		os.Exit(1)
 	}
 	fmt.Printf("benchdiff: OK — model metrics within %.3g and zero-alloc contracts hold vs %s\n", *mtol, *baseline)
@@ -230,22 +237,34 @@ func parseBenchLine(line string) (string, Bench, bool) {
 	return name, b, b.NsPerOp > 0
 }
 
-// diff compares snap against base and prints a report; the returned count is
-// the number of gating failures.
-func diff(base, snap *Snapshot, mtol, tol float64, gateTimes, gateAllocs bool) int {
+// diff compares snap against base and prints a report; it returns the
+// number of gating failures and, separately, the number of baseline
+// benchmarks the run no longer produced. A missing name is its own
+// failure class — it usually means a benchmark was deleted or renamed
+// without re-recording the baseline, and silently dropping it would let
+// its metric gates rot. Baseline entries outside the -bench regex are
+// skipped, not missing: the run never asked for them.
+func diff(base, snap *Snapshot, benchRe string, mtol, tol float64, gateTimes, gateAllocs bool) (failures, missing int) {
+	re, err := regexp.Compile(benchRe)
+	if err != nil {
+		// go test would have rejected it before any output; be safe.
+		re = regexp.MustCompile(".")
+	}
 	names := make([]string, 0, len(base.Benchmarks))
 	for n := range base.Benchmarks {
 		names = append(names, n)
 	}
 	sort.Strings(names)
-	failures := 0
 	allocFailures := 0
 	for _, n := range names {
 		b := base.Benchmarks[n]
 		s, ok := snap.Benchmarks[n]
 		if !ok {
+			if !re.MatchString("Benchmark" + n) {
+				continue // filtered out by -bench, not gone
+			}
 			fmt.Printf("  MISSING %-32s present in baseline, absent in run\n", n)
-			failures++
+			missing++
 			continue
 		}
 		// Model metrics: deterministic simulator outputs, gated strictly.
@@ -302,7 +321,7 @@ func diff(base, snap *Snapshot, mtol, tol float64, gateTimes, gateAllocs bool) i
 		// *Into and //mptlint:noalloc functions (DESIGN.md §9).
 		fmt.Printf("  hint: run `go run ./cmd/mptlint -run noalloc ./...` to locate the allocation statically\n")
 	}
-	return failures
+	return failures, missing
 }
 
 func within(got, want, rel float64) bool {

@@ -13,6 +13,8 @@
 //	mptsim -net vgg -trace out.json -metrics       # cycle-domain Chrome trace + counters
 //	mptsim -scenarios                              # degraded-fleet scenario matrix (TSV)
 //	mptsim -scenarios -scenarios-out table.tsv     # ... to a file (CI artifact)
+//	mptsim -net alexnet -autoplan                  # per-layer strategy auto-search (TSV plan)
+//	mptsim -net vgg -autoplan -autoplan-out p.tsv  # ... plan dump to a file (CI artifact)
 //
 // Telemetry output is deterministic: for a fixed invocation the trace
 // JSON and metrics dumps are byte-identical at any -parallel setting
@@ -30,6 +32,7 @@ import (
 
 	"mptwino/internal/model"
 	"mptwino/internal/parallel"
+	"mptwino/internal/planner"
 	"mptwino/internal/scenario"
 	"mptwino/internal/sim"
 	"mptwino/internal/telemetry"
@@ -37,7 +40,7 @@ import (
 
 func main() {
 	layerName := flag.String("layer", "", "Table II layer: Early, Mid-1, Mid-2, Late-1, Late-2")
-	netName := flag.String("net", "", "network: wrn, resnet34, fractalnet, vgg")
+	netName := flag.String("net", "", "network: wrn, resnet34, fractalnet, vgg, alexnet")
 	cfgName := flag.String("config", "w_mp++", "Table IV config (d_dp,w_dp,w_mp,w_mp+,w_mp*,w_mp++) or 'all'")
 	workers := flag.Int("workers", 256, "NDP worker count")
 	batch := flag.Int("batch", 256, "total batch size (layer mode only; networks use their catalog batch)")
@@ -47,6 +50,8 @@ func main() {
 	scenarios := flag.Bool("scenarios", false, "run the deterministic degraded-fleet scenario matrix and emit the TSV table (byte-identical at any -parallel)")
 	scenariosOut := flag.String("scenarios-out", "", "with -scenarios: write the table to this file instead of stdout")
 	scenariosSmoke := flag.Bool("scenarios-smoke", false, "with -scenarios: run the trimmed fast subset (the make-verify smoke grid)")
+	autoplan := flag.Bool("autoplan", false, "net mode: search per-layer parallelization strategies with lower-bound pruning and emit the plan TSV (byte-identical at any -parallel)")
+	autoplanOut := flag.String("autoplan-out", "", "with -autoplan: write the plan dump to this file instead of stdout")
 	traceFile := flag.String("trace", "", "write a Chrome trace_event JSON (chrome://tracing, Perfetto) with simulated-cycle timestamps to this file")
 	metrics := flag.Bool("metrics", false, "dump the telemetry counters as aligned text on exit")
 	metricsJSON := flag.String("metrics-json", "", "write the telemetry counters as JSON to this file ('-' for stdout)")
@@ -155,6 +160,13 @@ func main() {
 			runFaults(s, net, cfgs, failed)
 			return
 		}
+		if *autoplan {
+			if *cfgName == "all" {
+				fail(fmt.Errorf("-autoplan needs a single -config, not 'all'"))
+			}
+			runAutoplan(s, net, cfgs[0], *autoplanOut)
+			return
+		}
 		base := sim.SingleWorkerBaseline(net)
 		fmt.Printf("%s: batch %d, %d layer entries, %.1fM params, 1-NDP baseline %.1f img/s\n",
 			net.Name, net.Batch, len(net.Layers), float64(net.ParamCount())/1e6, base.ImagesPerSec)
@@ -169,6 +181,34 @@ func main() {
 	default:
 		fail(fmt.Errorf("specify -layer, -net, or -scenarios (see -h)"))
 	}
+}
+
+// runAutoplan builds the per-layer strategy plan and writes the
+// deterministic TSV dump — the bytes the CI autoplan job diffs against
+// the goldens in internal/planner/testdata. A summary of the plan-vs-menu
+// comparison goes to stderr so redirected stdout stays clean TSV.
+func runAutoplan(s sim.System, net model.Network, cfg sim.SystemConfig, outPath string) {
+	p := planner.Build(net, planner.Options{System: s, Config: cfg})
+	w := os.Stdout
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := p.WriteTSV(w); err != nil {
+		fail(err)
+	}
+	// With -trace attached, execute the plan once so the Chrome timeline
+	// shows the planned per-layer phases (the search itself emits none).
+	if s.Trace.Enabled() {
+		s.SimulateNetworkWithPlan(net, cfg, p.Strategies())
+	}
+	fmt.Fprintf(os.Stderr, "mptsim: %s autoplan %.3fms vs menu %.3fms (%.2f%% faster), redistribution %.3fus\n",
+		net.Name, p.ExecSec*1e3, p.MenuExecSec*1e3,
+		100*(1-p.ExecSec/p.MenuExecSec), p.RedistSec*1e6)
 }
 
 // runFaults prints the fault-recovery comparison: the same network
@@ -254,8 +294,10 @@ func findNetwork(name string) (model.Network, error) {
 		return model.FractalNet44(), nil
 	case "vgg", "vgg16", "vgg-16":
 		return model.VGG16(), nil
+	case "alexnet":
+		return model.AlexNet(), nil
 	default:
-		return model.Network{}, fmt.Errorf("unknown network %q (wrn, resnet34, fractalnet, vgg)", name)
+		return model.Network{}, fmt.Errorf("unknown network %q (wrn, resnet34, fractalnet, vgg, alexnet)", name)
 	}
 }
 

@@ -27,11 +27,11 @@ func DefaultFabric() Fabric {
 
 // EstimateTime converts per-worker volumes into a communication-time
 // estimate on the fabric. The collective is counted twice (reduce then
-// broadcast of the updated weights); tile gather and scatter share the
-// tile fabric.
+// broadcast of the updated weights); tile gather, scatter and the
+// intra-cell partial-sum reductions share the tile fabric.
 func (f Fabric) EstimateTime(v Volumes) float64 {
 	t := 2 * float64(v.Weight) / f.RingBW
-	t += float64(v.TileGather+v.TileScatter) / f.TileBW
+	t += float64(v.TileGather+v.TileScatter+v.PartialSum) / f.TileBW
 	return t
 }
 

@@ -17,7 +17,17 @@ import (
 // Strategy names a parallelization strategy for one layer.
 type Strategy struct {
 	Ng int // groups (intra-tile parallelism width)
-	Nc int // clusters (data parallelism width); Ng·Nc = p
+	Nc int // clusters (data parallelism width)
+
+	// Nf and Ni are the extra parallel axes of the auto-search planner
+	// (Jia et al., "Exploring Hidden Dimensions in Parallelizing CNNs"):
+	// Nf shards the filter (output-channel) dimension and Ni the input-
+	// channel dimension inside each (group, cluster) cell, so the total
+	// worker count is Ng·Nc·Nf·Ni. Zero means 1 (axis unused); the paper's
+	// fixed menu always runs with both at 1, and every formula degenerates
+	// bit-exactly to the two-axis model in that case.
+	Nf int // filter (output-channel) shards per cell
+	Ni int // input-channel shards per cell
 
 	// Winograd reports whether the layer runs in the Winograd domain at
 	// all (false = direct convolution, the d_dp baseline).
@@ -31,13 +41,43 @@ type Strategy struct {
 	ScatterReduction float64
 }
 
+// FilterShards returns the filter-axis width, defaulting to 1.
+func (s Strategy) FilterShards() int {
+	if s.Nf <= 0 {
+		return 1
+	}
+	return s.Nf
+}
+
+// ChannelShards returns the input-channel-axis width, defaulting to 1.
+func (s Strategy) ChannelShards() int {
+	if s.Ni <= 0 {
+		return 1
+	}
+	return s.Ni
+}
+
+// Cell returns the worker count of one cluster cell: the Ng·Nf·Ni workers
+// that cooperate on one batch shard over the tile fabric.
+func (s Strategy) Cell() int { return s.Ng * s.FilterShards() * s.ChannelShards() }
+
+// Extended reports whether the strategy uses the channel/filter axes the
+// fixed menu does not have.
+func (s Strategy) Extended() bool { return s.FilterShards() > 1 || s.ChannelShards() > 1 }
+
 // Workers returns the total worker count of the strategy.
-func (s Strategy) Workers() int { return s.Ng * s.Nc }
+func (s Strategy) Workers() int { return s.Cell() * s.Nc }
 
 // Validate checks the strategy invariants.
 func (s Strategy) Validate() error {
 	if s.Ng < 1 || s.Nc < 1 {
 		return fmt.Errorf("comm: Ng=%d Nc=%d must be >= 1", s.Ng, s.Nc)
+	}
+	if s.Nf < 0 || s.Ni < 0 {
+		return fmt.Errorf("comm: Nf=%d Ni=%d must be >= 0 (0 means 1)", s.Nf, s.Ni)
+	}
+	if s.Extended() && !s.Winograd {
+		return fmt.Errorf("comm: channel/filter sharding requires the Winograd path")
 	}
 	if s.GatherReduction < 0 || s.GatherReduction > 1 ||
 		s.ScatterReduction < 0 || s.ScatterReduction > 1 {
@@ -53,14 +93,25 @@ type Volumes struct {
 	Weight      int64 // weight-gradient ring collective, one direction
 	TileGather  int64 // Winograd-domain output tiles gathered (fprop+bprop)
 	TileScatter int64 // Winograd-domain input tiles scattered (fprop+bprop)
+
+	// PartialSum is the intra-cell partial-sum reduction traffic the
+	// channel/filter axes add: fprop output tiles reduced across the Ni
+	// input-channel shards and bprop dX tiles reduced across the Nf filter
+	// shards. Always 0 for the fixed two-axis menu.
+	PartialSum int64
 }
 
 // Total returns the summed per-worker bytes.
-func (v Volumes) Total() int64 { return v.Weight + v.TileGather + v.TileScatter }
+func (v Volumes) Total() int64 { return v.Weight + v.TileGather + v.TileScatter + v.PartialSum }
 
 // scale multiplies all fields by k (used for layer Repeat counts).
 func (v Volumes) scale(k int64) Volumes {
-	return Volumes{Weight: v.Weight * k, TileGather: v.TileGather * k, TileScatter: v.TileScatter * k}
+	return Volumes{
+		Weight:      v.Weight * k,
+		TileGather:  v.TileGather * k,
+		TileScatter: v.TileScatter * k,
+		PartialSum:  v.PartialSum * k,
+	}
 }
 
 func (v Volumes) add(o Volumes) Volumes {
@@ -68,6 +119,7 @@ func (v Volumes) add(o Volumes) Volumes {
 		Weight:      v.Weight + o.Weight,
 		TileGather:  v.TileGather + o.TileGather,
 		TileScatter: v.TileScatter + o.TileScatter,
+		PartialSum:  v.PartialSum + o.PartialSum,
 	}
 }
 
@@ -125,6 +177,10 @@ func TileTransferPerWorker(tiles int64, ng, nc int) int64 {
 func LayerVolumes(tr *winograd.Transform, p conv.Params, batch int, s Strategy) Volumes {
 	if err := s.Validate(); err != nil {
 		panic(err)
+	}
+	if s.Extended() {
+		// Channel/filter axes in play: the four-axis model (multiaxis.go).
+		return layerVolumesExt(tr, p, batch, s)
 	}
 	var v Volumes
 	if !s.Winograd {

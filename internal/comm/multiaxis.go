@@ -1,0 +1,140 @@
+package comm
+
+import (
+	"mptwino/internal/conv"
+	"mptwino/internal/winograd"
+)
+
+// This file extends the paper's two-axis (Ng, Nc) communication model to
+// the four-axis strategy space the per-layer auto-search planner explores
+// (internal/planner): Ng Winograd-element groups × Nc batch clusters ×
+// Nf filter (output-channel) shards × Ni input-channel shards, with
+// Ng·Nc·Nf·Ni = p. The extra axes follow Jia et al. ("Exploring Hidden
+// Dimensions in Parallelizing CNNs"): sharding filters replicates input
+// tiles, sharding input channels leaves partial output sums that a new
+// intra-cell reduction collective must combine.
+//
+// Traffic accounting (per worker, per iteration, bytes). One cluster owns
+// the batch shard B/Nc; its cell of D = Ng·Nf·Ni workers initially holds
+// the shard's tiles uniformly in position-major order (1/D each). Worker
+// (g, f, i) of the cell computes, for group g's T²/Ng elements, the
+// partial GEMM X[rows, In/Ni]·W[In/Ni, Out/Nf]:
+//
+//   - scatter (fprop X):   need = inT/(Nc·Ng·Ni); the resident fraction of
+//     the need is 1/D, so (D−1)/D of it crosses the cell fabric. The
+//     legacy two-axis formula is the D = Ng special case.
+//   - partial-sum reduce (fprop Y): the Ni channel shards hold partial
+//     sums of the same outT/(Nc·Ng·Nf) values; a ring reduce moves
+//     (Ni−1)/Ni of that payload per worker.
+//   - gather (fprop Y): the reduced output tiles return to position-major
+//     layout, (D−1)/D of the outT/(Nc·Ng·Nf) payload crossing.
+//   - bprop mirrors with X and Y swapped: dY scattered over (g, f), dX
+//     gathered over (g, i), dX partial sums reduced across Nf.
+//   - updateGrad: each worker's dW shard shrinks to |W|/(Ng·Nf·Ni) and
+//     ring-reduces across the Nc clusters; X and dY shards are already
+//     co-located from the forward/backward scatters, so no extra traffic.
+//
+// Every formula degenerates to the legacy model at Nf = Ni = 1 (checked
+// bit-exactly by TestExtendedVolumesDegenerate).
+
+// layerVolumesExt computes per-worker volumes for an extended strategy.
+func layerVolumesExt(tr *winograd.Transform, p conv.Params, batch int, s Strategy) Volumes {
+	ng, nc := s.Ng, s.Nc
+	d := s.Cell()
+
+	var v Volumes
+
+	// Weight collective: the Winograd-domain shard is split across the
+	// whole cell, rung across clusters.
+	wBytes := WinogradWeightBytes(tr, p) / int64(d)
+	v.Weight = RingCollectivePerWorker(wBytes, nc)
+	if d == 1 {
+		// Degenerate single-worker cell: pure data parallelism in the
+		// Winograd domain keeps spatial weights (Table IV "update w").
+		v.Weight = RingCollectivePerWorker(SpatialWeightBytes(p), s.Workers())
+		return v
+	}
+
+	sF, gF, pF := ExtPhaseVolumes(tr, p, batch, s, false)
+	sB, gB, pB := ExtPhaseVolumes(tr, p, batch, s, true)
+	gather := gF + gB
+	scatter := sF + sB
+
+	if winograd.HoldsWholeLines(tr.T, ng) && ng > 1 {
+		// Whole-line ownership enables the 1-D inverse transform at the
+		// source, shrinking gathered data from T to M values per line.
+		gather = gather * float64(tr.M) / float64(tr.T)
+	}
+
+	v.TileGather = int64(gather * (1 - s.GatherReduction))
+	v.TileScatter = int64(scatter * (1 - s.ScatterReduction))
+	v.PartialSum = int64(pF + pB)
+	return v
+}
+
+// ExtPhaseVolumes returns the raw (dense, un-reduced) per-worker traffic
+// of one training phase under an extended strategy, in bytes: the tile
+// scatter, the tile gather, and the intra-cell partial-sum reduction.
+// backward=false is fprop (scatter X, reduce+gather Y); backward=true is
+// bprop (scatter dY, reduce+gather dX). Callers apply the Section V
+// reductions, the 1-D gather shrink, and gather scaling themselves —
+// partial sums take none of them (they move not-yet-final sums).
+func ExtPhaseVolumes(tr *winograd.Transform, p conv.Params, batch int, s Strategy, backward bool) (scatter, gather, partial float64) {
+	ng, nc := s.Ng, s.Nc
+	nf, ni := s.FilterShards(), s.ChannelShards()
+	d := s.Cell()
+	if d <= 1 {
+		return 0, 0, 0
+	}
+	inT := float64(TileBytes(tr, p, batch, p.In))
+	outT := float64(TileBytes(tr, p, batch, p.Out))
+
+	// Per-worker payloads of the two tile roles inside one cluster.
+	inNeed := inT / float64(nc*ng*ni)   // X / dX payload per worker
+	outNeed := outT / float64(nc*ng*nf) // Y / dY payload per worker
+	crossing := float64(d-1) / float64(d)
+
+	if backward {
+		// bprop: scatter dY over (g, f), gather dX over (g, i), reduce
+		// the dX partial sums across the Nf filter shards.
+		return outNeed * crossing, inNeed * crossing, inNeed * float64(nf-1) / float64(nf)
+	}
+	// fprop: scatter X over (g, i), gather Y over (g, f), reduce the Y
+	// partial sums across the Ni input-channel shards.
+	return inNeed * crossing, outNeed * crossing, outNeed * float64(ni-1) / float64(ni)
+}
+
+// Factorization is one ordered (Ng, Nc, Nf, Ni) split of the fleet.
+type Factorization struct {
+	Ng, Nc, Nf, Ni int
+}
+
+// Product returns Ng·Nc·Nf·Ni.
+func (f Factorization) Product() int { return f.Ng * f.Nc * f.Nf * f.Ni }
+
+// Factorizations enumerates every ordered (Ng, Nc, Nf, Ni) factorization
+// of p workers, in deterministic lexicographic order (Ng outermost). The
+// planner filters the list per layer (Ng ≤ T², Nc ≤ batch, Nf ≤ Out,
+// Ni ≤ In); callers must not rely on any additional ordering property.
+func Factorizations(p int) []Factorization {
+	var out []Factorization
+	for ng := 1; ng <= p; ng++ {
+		if p%ng != 0 {
+			continue
+		}
+		rem1 := p / ng
+		for nc := 1; nc <= rem1; nc++ {
+			if rem1%nc != 0 {
+				continue
+			}
+			rem2 := rem1 / nc
+			for nf := 1; nf <= rem2; nf++ {
+				if rem2%nf != 0 {
+					continue
+				}
+				out = append(out, Factorization{Ng: ng, Nc: nc, Nf: nf, Ni: rem2 / nf})
+			}
+		}
+	}
+	return out
+}

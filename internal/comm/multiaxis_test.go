@@ -1,0 +1,127 @@
+package comm
+
+import (
+	"testing"
+
+	"mptwino/internal/model"
+	"mptwino/internal/winograd"
+)
+
+// TestExtendedVolumesDegenerate pins the four-axis model to the legacy
+// two-axis one: at Nf = Ni = 1 the extended formulas must reproduce the
+// paper's volumes bit-exactly for every catalog layer and menu config.
+func TestExtendedVolumesDegenerate(t *testing.T) {
+	const p = 256
+	nets := append(model.AllNetworks(), model.VGG16())
+	for _, net := range nets {
+		for _, l := range net.Layers {
+			for _, cfg := range DefaultConfigs(p) {
+				if cfg.Ng == 1 {
+					continue // no ext strategy has a one-worker cell
+				}
+				s, tr := StrategyFor(cfg, l.P.K, true, PaperReductions())
+				legacy := LayerVolumes(tr, l.P, net.Batch, s)
+
+				s.Nf, s.Ni = 1, 1
+				ext := layerVolumesExt(tr, l.P, net.Batch, s)
+				if ext != legacy {
+					t.Errorf("%s %s (Ng=%d,Nc=%d): ext %+v != legacy %+v",
+						net.Name, l.Name, cfg.Ng, cfg.Nc, ext, legacy)
+				}
+			}
+		}
+	}
+}
+
+// TestExtendedVolumesAxes checks the qualitative structure of the new
+// axes: partial sums appear exactly when a channel/filter axis is in
+// play, and sharding channels shrinks the weight collective.
+func TestExtendedVolumesAxes(t *testing.T) {
+	l := model.VGG16().Layers[7] // a mid-network 3×3 layer
+	tr, err := winograd.ForKernel(l.P.K, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Strategy{Ng: 4, Nc: 16, Nf: 1, Ni: 1, Winograd: true}
+	fs := Strategy{Ng: 4, Nc: 16, Nf: 4, Ni: 1, Winograd: true}
+	cs := Strategy{Ng: 4, Nc: 16, Nf: 1, Ni: 4, Winograd: true}
+
+	vb := layerVolumesExt(tr, l.P, 256, base)
+	vf := LayerVolumes(tr, l.P, 256, fs)
+	vc := LayerVolumes(tr, l.P, 256, cs)
+
+	if vb.PartialSum != 0 {
+		t.Errorf("no shard axes but PartialSum=%d", vb.PartialSum)
+	}
+	if vf.PartialSum <= 0 || vc.PartialSum <= 0 {
+		t.Errorf("shard axes must add partial-sum traffic: filter=%d channel=%d",
+			vf.PartialSum, vc.PartialSum)
+	}
+	if vf.Weight >= vb.Weight || vc.Weight >= vb.Weight {
+		t.Errorf("sharding must shrink the per-worker weight collective: base=%d filter=%d channel=%d",
+			vb.Weight, vf.Weight, vc.Weight)
+	}
+}
+
+// TestExtPhaseVolumesMirror checks the fprop/bprop duality: swapping the
+// direction swaps the scatter and gather payload roles.
+func TestExtPhaseVolumesMirror(t *testing.T) {
+	l := model.VGG16().Layers[4]
+	tr, err := winograd.ForKernel(l.P.K, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Strategy{Ng: 4, Nc: 8, Nf: 2, Ni: 4, Winograd: true}
+	sF, gF, _ := ExtPhaseVolumes(tr, l.P, 256, s, false)
+	sB, gB, _ := ExtPhaseVolumes(tr, l.P, 256, s, true)
+	if sF != gB || gF != sB {
+		t.Errorf("fprop (s=%g,g=%g) and bprop (s=%g,g=%g) are not mirrored", sF, gF, sB, gB)
+	}
+}
+
+// TestFactorizations checks the enumerator's contract: every quadruple
+// multiplies to p, there are no duplicates, the menu anchors appear, and
+// the order is deterministic.
+func TestFactorizations(t *testing.T) {
+	for _, p := range []int{1, 2, 4, 16, 60, 256} {
+		fs := Factorizations(p)
+		seen := make(map[Factorization]bool, len(fs))
+		for _, f := range fs {
+			if f.Product() != p {
+				t.Fatalf("p=%d: %+v multiplies to %d", p, f, f.Product())
+			}
+			if seen[f] {
+				t.Fatalf("p=%d: duplicate %+v", p, f)
+			}
+			seen[f] = true
+		}
+		again := Factorizations(p)
+		if len(again) != len(fs) {
+			t.Fatalf("p=%d: non-deterministic length", p)
+		}
+		for i := range fs {
+			if fs[i] != again[i] {
+				t.Fatalf("p=%d: non-deterministic order at %d", p, i)
+			}
+		}
+	}
+
+	fs := Factorizations(256)
+	for _, want := range []Factorization{
+		{Ng: 16, Nc: 16, Nf: 1, Ni: 1},
+		{Ng: 4, Nc: 64, Nf: 1, Ni: 1},
+		{Ng: 1, Nc: 256, Nf: 1, Ni: 1},
+		{Ng: 4, Nc: 16, Nf: 2, Ni: 2},
+	} {
+		found := false
+		for _, f := range fs {
+			if f == want {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("Factorizations(256) missing %+v", want)
+		}
+	}
+}

@@ -187,6 +187,21 @@ func VGG16() Network {
 	return Network{Name: "VGG-16", Batch: 256, Layers: layers}
 }
 
+// AlexNet returns the Winograd-eligible convolution body of AlexNet
+// (conv2–conv5): the 5×5 layer runs under F(2×2,5×5) and the 3×3 layers
+// under the usual cook-toom pair. The 11×11 stride-4 conv1 is omitted —
+// conv.Params models stride-1 same-padded layers only, the same reason
+// ResNet34 drops its 7×7 stem — and like VGG16 it is a planner/telemetry
+// workload, not part of the Table I evaluation set.
+func AlexNet() Network {
+	return Network{Name: "AlexNet", Batch: 256, Layers: []Layer{
+		{Name: "conv2", P: conv.Params{In: 96, Out: 256, K: 5, Pad: 2, H: 27, W: 27}},
+		conv3("conv3", 256, 384, 13, 1),
+		conv3("conv4", 384, 384, 13, 1),
+		conv3("conv5", 384, 256, 13, 1),
+	}}
+}
+
 // AllNetworks returns the three Table I CNNs.
 func AllNetworks() []Network {
 	return []Network{WRN40x10(), ResNet34(), FractalNet44()}

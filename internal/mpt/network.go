@@ -25,12 +25,38 @@ type Net struct {
 
 // NewNet builds engines for each geometry in params; layer i's output
 // channels must match layer i+1's input channels, and all spatial sizes
-// must chain (same-padded layers keep H×W).
+// must chain (same-padded layers keep H×W). Every layer shares one
+// transform and one worker organization.
 func NewNet(tr *winograd.Transform, params []conv.Params, cfg Config, rng *tensor.RNG) (*Net, error) {
 	if len(params) == 0 {
 		return nil, fmt.Errorf("mpt: empty network")
 	}
-	n := &Net{Cfg: cfg}
+	cfgs := make([]Config, len(params))
+	for i := range cfgs {
+		cfgs[i] = cfg
+	}
+	return buildNet(func(int) (*winograd.Transform, error) { return tr, nil }, params, cfgs, rng)
+}
+
+// NewNetConfigs builds a network whose layers run under per-layer worker
+// organizations — the form an autoplan (internal/planner) produces. Layer
+// i's transform is resolved from its kernel size and group count via
+// winograd.ForKernel, so one net may mix single-group F(4×4,3×3) layers
+// with multi-group F(2×2,·) ones.
+func NewNetConfigs(params []conv.Params, cfgs []Config, rng *tensor.RNG) (*Net, error) {
+	if len(params) == 0 {
+		return nil, fmt.Errorf("mpt: empty network")
+	}
+	if len(cfgs) != len(params) {
+		return nil, fmt.Errorf("mpt: %d configs for %d layers", len(cfgs), len(params))
+	}
+	return buildNet(func(i int) (*winograd.Transform, error) {
+		return winograd.ForKernel(params[i].K, cfgs[i].Ng)
+	}, params, cfgs, rng)
+}
+
+func buildNet(trFor func(int) (*winograd.Transform, error), params []conv.Params, cfgs []Config, rng *tensor.RNG) (*Net, error) {
+	n := &Net{Cfg: cfgs[0]}
 	for i, p := range params {
 		if i > 0 {
 			prev := params[i-1]
@@ -39,7 +65,11 @@ func NewNet(tr *winograd.Transform, params []conv.Params, cfg Config, rng *tenso
 					i, p.In, p.H, p.W, i-1, prev.Out, prev.OutH(), prev.OutW())
 			}
 		}
-		e, err := NewEngine(tr, p, cfg, rng)
+		tr, err := trFor(i)
+		if err != nil {
+			return nil, err
+		}
+		e, err := NewEngine(tr, p, cfgs[i], rng)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,39 @@
+package planner
+
+import (
+	"mptwino/internal/mpt"
+)
+
+// EngineConfigs projects the plan onto the numeric MPT engine: one
+// mpt.Config per plan choice, indexed like the network's layers (pass the
+// result straight to mpt.NewNetConfigs alongside the matching
+// conv.Params list). base supplies the Section V knobs (Predict,
+// ZeroSkip, quantizer settings); the projection overrides only the grid.
+//
+// The engine organizes workers on two axes, so the planner's channel and
+// filter shards fold into the cluster axis — each (Nf, Ni) shard pair
+// processes a disjoint batch slice there, preserving worker count and
+// per-worker batch share — clamped to the batch so no cluster is empty.
+// A direct-convolution choice (Winograd false) projects to its (1, Nc)
+// grid: the numeric engine always computes through the Winograd pipeline,
+// which is numerically equal by construction.
+func (p Plan) EngineConfigs(base mpt.Config, batch int) []mpt.Config {
+	out := make([]mpt.Config, len(p.Choices))
+	for i, c := range p.Choices {
+		cfg := base
+		cfg.Ng = c.St.Ng
+		if cfg.Ng < 1 {
+			cfg.Ng = 1
+		}
+		nc := c.St.Nc * c.St.FilterShards() * c.St.ChannelShards()
+		if nc > batch {
+			nc = batch
+		}
+		if nc < 1 {
+			nc = 1
+		}
+		cfg.Nc = nc
+		out[i] = cfg
+	}
+	return out
+}

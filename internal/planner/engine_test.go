@@ -1,0 +1,100 @@
+package planner
+
+import (
+	"math"
+	"testing"
+
+	"mptwino/internal/conv"
+	"mptwino/internal/model"
+	"mptwino/internal/mpt"
+	"mptwino/internal/sim"
+	"mptwino/internal/tensor"
+)
+
+// tinyNet is a numerically tractable 3-layer workload for the functional
+// engine: the planner searches it on a 16-module fleet and the resulting
+// per-layer grids must train bit-for-bit like a single worker.
+func tinyNet() model.Network {
+	return model.Network{Name: "tiny", Batch: 8, Layers: []model.Layer{
+		{Name: "c0", P: conv.Params{In: 2, Out: 4, K: 3, Pad: 1, H: 8, W: 8}},
+		{Name: "c1", P: conv.Params{In: 4, Out: 4, K: 3, Pad: 1, H: 8, W: 8}},
+		{Name: "c2", P: conv.Params{In: 4, Out: 2, K: 3, Pad: 1, H: 8, W: 8}},
+	}}
+}
+
+// TestEngineConsumesPlan closes the loop the issue asks for: Build a plan,
+// project it with EngineConfigs, hand it to mpt.NewNetConfigs, and train —
+// the distributed run under the plan's mixed per-layer grids must match a
+// reference with the same per-layer transforms but no cluster sharding
+// (Nc=1) loss for loss at every step. The transforms must match because
+// the engine steps weights in the Winograd domain, so the optimizer
+// trajectory is transform-dependent; the group axis' own equivalence is
+// proven by the mpt package tests.
+func TestEngineConsumesPlan(t *testing.T) {
+	net := tinyNet()
+	sys := sim.DefaultSystem()
+	sys.Workers = 16
+	p := Build(net, Options{System: sys})
+	if len(p.Choices) != len(net.Layers) {
+		t.Fatalf("plan has %d choices for %d layers", len(p.Choices), len(net.Layers))
+	}
+
+	params := make([]conv.Params, len(net.Layers))
+	for i, l := range net.Layers {
+		params[i] = l.P
+	}
+	cfgs := p.EngineConfigs(mpt.Config{}, net.Batch)
+	for i, cfg := range cfgs {
+		if cfg.Ng < 1 || cfg.Nc < 1 || cfg.Nc > net.Batch {
+			t.Fatalf("layer %d: projected grid (%d,%d) out of range", i, cfg.Ng, cfg.Nc)
+		}
+	}
+
+	planNet, err := mpt.NewNetConfigs(params, cfgs, tensor.NewRNG(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	refCfgs := make([]mpt.Config, len(cfgs))
+	for i, cfg := range cfgs {
+		refCfgs[i] = mpt.Config{Ng: cfg.Ng, Nc: 1}
+	}
+	ref, err := mpt.NewNetConfigs(params, refCfgs, tensor.NewRNG(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := tensor.NewRNG(12)
+	x := tensor.New(net.Batch, params[0].In, 8, 8)
+	target := tensor.New(net.Batch, params[len(params)-1].Out, 8, 8)
+	rng.FillNormal(x, 0, 1)
+	rng.FillNormal(target, 0, 1)
+
+	for step := 0; step < 3; step++ {
+		lossPlan, err := planNet.TrainStepMSE(x, target, 0.0005)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lossRef, err := ref.TrainStepMSE(x, target, 0.0005)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(lossPlan-lossRef) > 1e-3*(1+lossRef) {
+			t.Fatalf("step %d: plan-net loss %v diverged from single-worker %v", step, lossPlan, lossRef)
+		}
+	}
+}
+
+// TestNewNetConfigsValidation pins the per-layer constructor's error
+// paths: length mismatch and empty networks are rejected.
+func TestNewNetConfigsValidation(t *testing.T) {
+	params := []conv.Params{{In: 2, Out: 2, K: 3, Pad: 1, H: 8, W: 8}}
+	if _, err := mpt.NewNetConfigs(nil, nil, tensor.NewRNG(1)); err == nil {
+		t.Fatal("empty network accepted")
+	}
+	if _, err := mpt.NewNetConfigs(params, nil, tensor.NewRNG(1)); err == nil {
+		t.Fatal("config/layer length mismatch accepted")
+	}
+	if _, err := mpt.NewNetConfigs(params, []mpt.Config{{Ng: 2, Nc: 1}}, tensor.NewRNG(1)); err != nil {
+		t.Fatalf("valid per-layer config rejected: %v", err)
+	}
+}

@@ -1,0 +1,204 @@
+package planner
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mptwino/internal/comm"
+	"mptwino/internal/model"
+	"mptwino/internal/sim"
+)
+
+var update = flag.Bool("update", false, "rewrite golden plan dumps")
+
+func planNets() []model.Network {
+	return []model.Network{model.AlexNet(), model.VGG16()}
+}
+
+func goldenName(net model.Network) string {
+	switch net.Name {
+	case "AlexNet":
+		return "plan_alexnet.tsv"
+	case "VGG-16":
+		return "plan_vgg16.tsv"
+	}
+	return "plan_" + net.Name + ".tsv"
+}
+
+// TestPlanGolden pins the full plan dump for AlexNet and VGG-16 — the
+// same bytes the CI autoplan job diffs `mptsim -autoplan` output
+// against. Regenerate with `go test ./internal/planner -run Golden
+// -update` after an intentional model change.
+func TestPlanGolden(t *testing.T) {
+	for _, net := range planNets() {
+		p := Build(net, Options{System: sim.DefaultSystem()})
+		var buf bytes.Buffer
+		if err := p.WriteTSV(&buf); err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join("testdata", goldenName(net))
+		if *update {
+			if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v (run with -update to create)", path, err)
+		}
+		if !bytes.Equal(buf.Bytes(), want) {
+			t.Errorf("%s: plan dump drifted from golden; run with -update if intended\ngot:\n%s", path, buf.String())
+		}
+	}
+}
+
+// TestPlanBeatsMenu is the acceptance criterion: the plan's simulated
+// total cycles never lose to the best fixed three-config menu result —
+// both as the planner's own metrics (ExecSec vs MenuExecSec, a theorem
+// of the dominance filter) and as independently executed by
+// sim.SimulateNetworkWithPlan against sim.SimulateNetwork(WMpFull).
+func TestPlanBeatsMenu(t *testing.T) {
+	for _, net := range planNets() {
+		sys := sim.DefaultSystem()
+		p := Build(net, Options{System: sys})
+		if p.ExecSec > p.MenuExecSec {
+			t.Errorf("%s: plan exec %.3fus exceeds menu exec %.3fus", net.Name, p.ExecSec*1e6, p.MenuExecSec*1e6)
+		}
+		exec := sys.SimulateNetworkWithPlan(net, sim.WMpFull, p.Strategies())
+		menu := sys.SimulateNetwork(net, sim.WMpFull)
+		if exec.IterationSec > menu.IterationSec {
+			t.Errorf("%s: executed plan %.3fus loses to menu %.3fus",
+				net.Name, exec.IterationSec*1e6, menu.IterationSec*1e6)
+		}
+		if exec.IterationSec != p.ExecSec {
+			t.Errorf("%s: executed plan %.6gs != plan ExecSec %.6gs", net.Name, exec.IterationSec, p.ExecSec)
+		}
+		if menu.IterationSec != p.MenuExecSec {
+			t.Errorf("%s: menu sim %.6gs != plan MenuExecSec %.6gs", net.Name, menu.IterationSec, p.MenuExecSec)
+		}
+		t.Logf("%s: plan %.3fus menu %.3fus (%.2f%% faster), redist %.3fus",
+			net.Name, exec.IterationSec*1e6, menu.IterationSec*1e6,
+			100*(1-exec.IterationSec/menu.IterationSec), p.RedistSec*1e6)
+	}
+}
+
+// TestPlanDeterminism cross-checks byte-identical plans at host worker
+// counts 1, 2 and 8 — the repo-wide bit-determinism contract.
+func TestPlanDeterminism(t *testing.T) {
+	for _, net := range planNets() {
+		var ref []byte
+		for _, w := range []int{1, 2, 8} {
+			sys := sim.DefaultSystem()
+			sys.Parallel = w
+			p := Build(net, Options{System: sys})
+			var buf bytes.Buffer
+			if err := p.WriteTSV(&buf); err != nil {
+				t.Fatal(err)
+			}
+			if ref == nil {
+				ref = buf.Bytes()
+			} else if !bytes.Equal(ref, buf.Bytes()) {
+				t.Fatalf("%s: plan differs between workers=1 and workers=%d", net.Name, w)
+			}
+		}
+	}
+}
+
+// TestCandidatesValid is the property test: every emitted factorization
+// multiplies to the module count, respects the per-layer feasibility
+// constraints, and its shard ranges cover the batch and filter ranges
+// exactly once.
+func TestCandidatesValid(t *testing.T) {
+	const p = 256
+	for _, net := range planNets() {
+		for _, l := range net.Layers {
+			cands := Candidates(l, net.Batch, p, true, comm.PaperReductions())
+			if len(cands) == 0 {
+				t.Fatalf("%s: no candidates", l.Name)
+			}
+			for _, c := range cands {
+				st := c.St
+				if got := st.Workers(); got != p {
+					t.Fatalf("%s: %+v uses %d workers, want %d", l.Name, st, got, p)
+				}
+				if st.Nc > net.Batch || st.FilterShards() > l.P.Out || st.ChannelShards() > l.P.In {
+					t.Fatalf("%s: infeasible candidate %+v", l.Name, st)
+				}
+				// Shard ranges [i·n/parts, (i+1)·n/parts) tile [0, n)
+				// exactly once for every sharded axis.
+				for _, ax := range []struct {
+					n, parts int
+				}{
+					{net.Batch, st.Nc},
+					{l.P.Out, st.FilterShards()},
+					{l.P.In, st.ChannelShards()},
+				} {
+					end := 0
+					for i := 0; i < ax.parts; i++ {
+						lo := i * ax.n / ax.parts
+						hi := (i + 1) * ax.n / ax.parts
+						if lo != end || hi < lo {
+							t.Fatalf("%s: %+v axis %d/%d: shard %d is [%d,%d), want start %d",
+								l.Name, st, ax.n, ax.parts, i, lo, hi, end)
+						}
+						end = hi
+					}
+					if end != ax.n {
+						t.Fatalf("%s: %+v shards cover [0,%d), want [0,%d)", l.Name, st, end, ax.n)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPruningSound verifies the lower bound never eliminates a candidate
+// that would have won: the chosen strategy's simulated time is no worse
+// than every pruned candidate's communication floor (which bounds that
+// candidate's achievable time from below).
+func TestPruningSound(t *testing.T) {
+	net := model.AlexNet()
+	sys := sim.DefaultSystem()
+	for _, l := range net.Layers {
+		cands := Candidates(l, net.Batch, sys.Workers, true, sys.Reductions)
+		bestSim := 0.0
+		for _, c := range cands {
+			r := sys.SimulateLayerStrategy(l, net.Batch, sim.WMpFull, c.St)
+			if bestSim == 0 || r.TotalSec() < bestSim {
+				bestSim = r.TotalSec()
+			}
+			floor := sys.CommFloorSec(l, net.Batch, c.St)
+			if floor > r.TotalSec()*1.000001 {
+				t.Errorf("%s: floor %.ger exceeds simulated %.6g for %+v", l.Name, floor, r.TotalSec(), c.St)
+			}
+		}
+	}
+}
+
+// TestValidateNoCPlan replays the chosen plan's fabrics at flit level
+// and checks the analytic model tracks the simulator within the same
+// generous factors figures.NoCValidation pins.
+func TestValidateNoCPlan(t *testing.T) {
+	if testing.Short() {
+		t.Skip("flit-level simulation")
+	}
+	p := Build(model.AlexNet(), Options{System: sim.DefaultSystem()})
+	checks := ValidateNoC(p)
+	if len(checks) == 0 {
+		t.Fatal("no fabrics to validate")
+	}
+	for _, c := range checks {
+		lo, hi := 0.8, 1.6
+		if c.Pattern == "cell-a2a" {
+			lo, hi = 0.9, 4.5
+		}
+		if c.Ratio < lo || c.Ratio > hi {
+			t.Errorf("%s size=%d: sim/model ratio %.2f outside [%.1f, %.1f] (model %.2fus sim %.2fus)",
+				c.Pattern, c.Size, c.Ratio, lo, hi, c.ModelUS, c.SimUS)
+		}
+	}
+}

@@ -1,0 +1,38 @@
+package planner
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// WriteTSV emits the plan as a machine-readable tab-separated dump: a
+// header comment pinning the run parameters and totals, then one row per
+// layer with the chosen strategy, its cost split, and the achieved-vs-
+// lower-bound traffic. Every value is deterministic and fixed-precision,
+// so the bytes are identical across runs, host worker counts and
+// machines — the property the committed goldens and the CI autoplan job
+// diff against.
+func (p Plan) WriteTSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# mptwino autoplan\tnetwork=%s\tworkers=%d\tconfig=%s\tslack=%.2f\n",
+		p.Network, p.Workers, p.Config, p.Slack)
+	fmt.Fprintf(bw, "# exec_us=%.3f\tmenu_exec_us=%.3f\ttotal_us=%.3f\tredist_us=%.3f\tmenu_total_us=%.3f\n",
+		p.ExecSec*1e6, p.MenuExecSec*1e6, p.TotalSec*1e6, p.RedistSec*1e6, p.MenuTotalSec*1e6)
+	fmt.Fprintln(bw, "layer\trepeat\twinograd\tng\tnc\tnf\tni\tlayer_us\tredist_us\tachieved_bytes\tbound_bytes\tbound_ratio\tcandidates\tpruned")
+	for _, c := range p.Choices {
+		ratio := 0.0
+		if c.BoundBytes > 0 {
+			ratio = float64(c.AchievedBytes) / float64(c.BoundBytes)
+		}
+		wino := 0
+		if c.St.Winograd {
+			wino = 1
+		}
+		fmt.Fprintf(bw, "%s\t%d\t%d\t%d\t%d\t%d\t%d\t%.3f\t%.3f\t%d\t%d\t%.4f\t%d\t%d\n",
+			c.Layer, c.Repeat, wino, c.St.Ng, c.St.Nc, c.St.FilterShards(), c.St.ChannelShards(),
+			c.LayerSec*1e6, c.RedistSec*1e6,
+			c.AchievedBytes, c.BoundBytes, ratio, c.Candidates, c.Pruned)
+	}
+	return bw.Flush()
+}

@@ -60,8 +60,8 @@ func (s System) activeModules(n int) []int {
 // phase durations reproduces the homogeneous results bit-for-bit.
 func (s System) fleetFactors(st comm.Strategy, batch int) fleetFactors {
 	modules := s.activeModules(st.Workers())
-	cs := comm.ClusterSpeeds(s.ComputeSpeeds, modules, st.Ng, st.Nc)
-	ls := comm.ClusterSpeeds(s.LinkSpeeds, modules, st.Ng, st.Nc)
+	cs := comm.ClusterSpeeds(s.ComputeSpeeds, modules, st.Cell(), st.Nc)
+	ls := comm.ClusterSpeeds(s.LinkSpeeds, modules, st.Cell(), st.Nc)
 
 	// Effective cluster speed: a cluster is gated by whichever of compute
 	// and intra-cluster bandwidth is more derated.

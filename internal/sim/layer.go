@@ -45,6 +45,7 @@ type LayerResult struct {
 	Name   string
 	Config SystemConfig
 	Ng, Nc int // chosen clustering (1,p for data-parallel configs)
+	Nf, Ni int // planner shard axes (always 1 on the fixed menu)
 
 	ForwardSec  float64          // fprop
 	BackwardSec float64          // bprop + updateGrad
@@ -168,8 +169,16 @@ func meanTileHops(ng int) float64 {
 		return 0
 	case ng <= 4:
 		return 1
-	default:
+	case ng <= 16:
 		return 1.6
+	default:
+		// Larger planner cells sit on a side×side FBFLY; the closed form
+		// 2·side/(side+1) generalizes the 4×4 figure (2·4/5 = 1.6).
+		side := 1
+		for side*side < ng {
+			side++
+		}
+		return 2 * float64(side) / float64(side+1)
 	}
 }
 
@@ -214,12 +223,16 @@ func (s System) SimulateLayer(l model.Layer, batch int, c SystemConfig) LayerRes
 // simulateWithStrategy runs the layer under an explicit strategy.
 func (s System) simulateWithStrategy(l model.Layer, batch int, c SystemConfig, st comm.Strategy, tr *winograd.Transform) LayerResult {
 	p := l.P
-	res := LayerResult{Name: l.Name, Config: c, Ng: st.Ng, Nc: st.Nc}
+	res := LayerResult{Name: l.Name, Config: c, Ng: st.Ng, Nc: st.Nc,
+		Nf: st.FilterShards(), Ni: st.ChannelShards()}
 
 	var fwd, bwd phase
-	if c == DDp {
+	switch {
+	case c == DDp:
 		fwd, bwd = s.directPhases(p, batch)
-	} else {
+	case st.Extended():
+		fwd, bwd = s.winogradPhasesExt(p, batch, st, tr, l.EffectiveGatherScale())
+	default:
 		fwd, bwd = s.winogradPhases(p, batch, st, tr, l.EffectiveGatherScale())
 	}
 

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"mptwino/internal/comm"
 	"mptwino/internal/energy"
 	"mptwino/internal/model"
 	"mptwino/internal/parallel"
@@ -53,6 +54,22 @@ func (s System) assembleNetwork(net model.Network, c SystemConfig, layers []Laye
 	s.recordFleetSpeeds()
 	s.traceNetwork(net, c, res)
 	return res
+}
+
+// SimulateNetworkWithPlan runs every layer of net under its planned
+// strategy (indexed like net.Layers) — the executable form of the
+// auto-search planner's Plan — and assembles the iteration exactly like
+// SimulateNetwork. Redistribution cost between differently-configured
+// adjacent layers is the planner's concern (it selects the plan with that
+// cost included); the per-layer simulation itself is unchanged.
+func (s System) SimulateNetworkWithPlan(net model.Network, c SystemConfig, plan []comm.Strategy) NetworkResult {
+	if len(plan) != len(net.Layers) {
+		panic("sim: plan length does not match network layer count")
+	}
+	layers := parallel.Map(s.workers(), len(net.Layers), func(i int) LayerResult {
+		return s.SimulateLayerStrategy(net.Layers[i], net.Batch, c, plan[i])
+	})
+	return s.assembleNetwork(net, c, layers)
 }
 
 // Sweep simulates net under every config in cfgs, fanning one goroutine

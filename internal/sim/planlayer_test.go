@@ -1,0 +1,72 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"mptwino/internal/comm"
+	"mptwino/internal/model"
+)
+
+// TestSimulateLayerStrategyMatchesFixedGrid pins the oracle entry point
+// to the existing fixed-grid path: feeding it the (16,16) menu strategy
+// must reproduce SimulateLayer(WMp) bit-exactly.
+func TestSimulateLayerStrategyMatchesFixedGrid(t *testing.T) {
+	s := DefaultSystem()
+	net := model.VGG16()
+	for _, l := range net.Layers {
+		st, _ := comm.StrategyFor(comm.ClusterConfig{Ng: 16, Nc: 16}, l.P.K, false, s.Reductions)
+		got := s.SimulateLayerStrategy(l, net.Batch, WMp, st)
+		want := s.SimulateLayer(l, net.Batch, WMp)
+		if got.TotalSec() != want.TotalSec() || got.NetBytes != want.NetBytes ||
+			got.DRAMBytes != want.DRAMBytes || got.BoundBytes != want.BoundBytes {
+			t.Fatalf("%s: strategy oracle %+v != fixed grid %+v", l.Name, got, want)
+		}
+	}
+}
+
+// TestSimulateLayerStrategyDirect checks the non-Winograd branch routes
+// to the d_dp phase model.
+func TestSimulateLayerStrategyDirect(t *testing.T) {
+	s := DefaultSystem()
+	net := model.VGG16()
+	l := net.Layers[0]
+	st := comm.Strategy{Ng: 1, Nc: s.Workers}
+	got := s.SimulateLayerStrategy(l, net.Batch, WMpFull, st)
+	want := s.SimulateLayer(l, net.Batch, DDp)
+	if got.TotalSec() != want.TotalSec() {
+		t.Fatalf("direct strategy %g != DDp %g", got.TotalSec(), want.TotalSec())
+	}
+	if got.Config != DDp {
+		t.Fatalf("direct strategy kept config %v", got.Config)
+	}
+}
+
+// TestExtendedStrategySane checks structural properties of the extended
+// phase model: finite positive time, partial-sum traffic on the tile
+// fabric, and a weight collective that shrinks with the cell size.
+func TestExtendedStrategySane(t *testing.T) {
+	s := DefaultSystem()
+	net := model.VGG16()
+	l := net.Layers[7]
+
+	base := comm.Strategy{Ng: 4, Nc: 64, Nf: 1, Ni: 1, Winograd: true}
+	ext := comm.Strategy{Ng: 4, Nc: 16, Nf: 2, Ni: 2, Winograd: true}
+	rb := s.SimulateLayerStrategy(l, net.Batch, WMp, base)
+	re := s.SimulateLayerStrategy(l, net.Batch, WMp, ext)
+
+	for _, r := range []LayerResult{rb, re} {
+		if !(r.TotalSec() > 0) || math.IsInf(r.TotalSec(), 0) || math.IsNaN(r.TotalSec()) {
+			t.Fatalf("%s: bad total %g", r.Name, r.TotalSec())
+		}
+	}
+	if re.Nf != 2 || re.Ni != 2 {
+		t.Fatalf("shard axes not recorded: %+v", re)
+	}
+	if re.CollBytes >= rb.CollBytes {
+		t.Fatalf("cell sharding must shrink the collective: ext=%d base=%d", re.CollBytes, rb.CollBytes)
+	}
+	if re.TileBytes <= 0 {
+		t.Fatalf("extended strategy moved no tile bytes")
+	}
+}
