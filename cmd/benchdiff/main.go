@@ -41,6 +41,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"mptwino/internal/tensor"
 )
 
 // Bench is one benchmark's captured measurements.
@@ -61,6 +63,8 @@ type Snapshot struct {
 	GOOS       string           `json:"goos"`
 	GOARCH     string           `json:"goarch"`
 	GOMAXPROCS int              `json:"gomaxprocs"`
+	GemmKernel string           `json:"gemm_kernel,omitempty"`
+	CPUFeature string           `json:"cpu_features,omitempty"`
 	BenchTime  string           `json:"benchtime"`
 	Benchmarks map[string]Bench `json:"benchmarks"`
 }
@@ -118,6 +122,17 @@ func main() {
 			return
 		}
 		fatal(err)
+	}
+	// Model metrics are only comparable between runs on the same GEMM
+	// dispatch tier: the fused `fma` tier rounds differently by design, and
+	// wall-time baselines recorded on one tier gate meaninglessly against
+	// another. Refuse rather than report bogus drift.
+	if base.GemmKernel != "" && base.GemmKernel != snap.GemmKernel {
+		fmt.Printf("benchdiff: FAIL — baseline recorded on gemm tier %q (cpu %s) but this run dispatched %q (cpu %s)\n",
+			base.GemmKernel, base.CPUFeature, snap.GemmKernel, snap.CPUFeature)
+		fmt.Printf("  hint: force the baseline tier with %s=%s, or re-record with `go run ./cmd/benchdiff -update`\n",
+			tensor.EnvGemmKernel, base.GemmKernel)
+		os.Exit(1)
 	}
 	reportTelemetryOverhead(snap)
 	failures, missing := diff(base, snap, *benchRe, *mtol, *tol, *gateTimes, *gateAllocs)
@@ -181,6 +196,11 @@ func capture(benchRe, benchTime string, extraEnv []string) (*Snapshot, error) {
 		GOOS:       runtime.GOOS,
 		GOARCH:     runtime.GOARCH,
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		// This process and the `go test` child share the environment, so
+		// the tier the tensor package dispatched to here is the tier the
+		// benchmarks ran on (DESIGN.md §13).
+		GemmKernel: tensor.GemmKernel(),
+		CPUFeature: tensor.CPUFeatures(),
 		BenchTime:  benchTime,
 		Benchmarks: map[string]Bench{},
 	}

@@ -52,6 +52,7 @@ func main() {
 	scenariosSmoke := flag.Bool("scenarios-smoke", false, "with -scenarios: run the trimmed fast subset (the make-verify smoke grid)")
 	autoplan := flag.Bool("autoplan", false, "net mode: search per-layer parallelization strategies with lower-bound pruning and emit the plan TSV (byte-identical at any -parallel)")
 	autoplanOut := flag.String("autoplan-out", "", "with -autoplan: write the plan dump to this file instead of stdout")
+	allowWideTiles := flag.Bool("allow-wide-tiles", false, "with -autoplan: admit the numerically unsafe F(6x6,3x3) transform into the planner's tile-size axis (inference-grade only)")
 	traceFile := flag.String("trace", "", "write a Chrome trace_event JSON (chrome://tracing, Perfetto) with simulated-cycle timestamps to this file")
 	metrics := flag.Bool("metrics", false, "dump the telemetry counters as aligned text on exit")
 	metricsJSON := flag.String("metrics-json", "", "write the telemetry counters as JSON to this file ('-' for stdout)")
@@ -164,7 +165,7 @@ func main() {
 			if *cfgName == "all" {
 				fail(fmt.Errorf("-autoplan needs a single -config, not 'all'"))
 			}
-			runAutoplan(s, net, cfgs[0], *autoplanOut)
+			runAutoplan(s, net, cfgs[0], *autoplanOut, *allowWideTiles)
 			return
 		}
 		base := sim.SingleWorkerBaseline(net)
@@ -187,8 +188,8 @@ func main() {
 // deterministic TSV dump — the bytes the CI autoplan job diffs against
 // the goldens in internal/planner/testdata. A summary of the plan-vs-menu
 // comparison goes to stderr so redirected stdout stays clean TSV.
-func runAutoplan(s sim.System, net model.Network, cfg sim.SystemConfig, outPath string) {
-	p := planner.Build(net, planner.Options{System: s, Config: cfg})
+func runAutoplan(s sim.System, net model.Network, cfg sim.SystemConfig, outPath string, wideTiles bool) {
+	p := planner.Build(net, planner.Options{System: s, Config: cfg, AllowWideTiles: wideTiles})
 	w := os.Stdout
 	if outPath != "" {
 		f, err := os.Create(outPath)

@@ -33,6 +33,15 @@ type Strategy struct {
 	// all (false = direct convolution, the d_dp baseline).
 	Winograd bool
 
+	// TileM selects the Winograd tile output size m of F(m×m,r×r) as an
+	// explicit strategy axis. Zero keeps the paper's rule (the group count
+	// picks the tile: F(2×2) for Ng>1, F(4×4) for Ng=1 at 3×3 kernels), so
+	// every fixed-menu strategy and all pre-existing callers are unchanged
+	// bit-for-bit. The planner enumerates non-zero values {2, 4} by default
+	// and {2, 4, 6} behind AllowWideTiles (F(6×6,3×3) is training-unsafe;
+	// see winograd/stability_test.go).
+	TileM int
+
 	// Reduction factors from Section V, expressed as the *fraction of
 	// traffic removed* (0 = no reduction). GatherReduction applies to tile
 	// gathering (activation prediction), ScatterReduction to tile
@@ -79,11 +88,34 @@ func (s Strategy) Validate() error {
 	if s.Extended() && !s.Winograd {
 		return fmt.Errorf("comm: channel/filter sharding requires the Winograd path")
 	}
+	switch s.TileM {
+	case 0, 2, 4, 6:
+	default:
+		return fmt.Errorf("comm: TileM=%d not supported (0 = paper rule, else m of F(m×m))", s.TileM)
+	}
+	if s.TileM != 0 && !s.Winograd {
+		return fmt.Errorf("comm: an explicit tile size requires the Winograd path")
+	}
 	if s.GatherReduction < 0 || s.GatherReduction > 1 ||
 		s.ScatterReduction < 0 || s.ScatterReduction > 1 {
 		return fmt.Errorf("comm: reductions must be in [0,1]")
 	}
 	return nil
+}
+
+// Transform resolves the Winograd transform for kernel size k under this
+// strategy: the explicit TileM axis when set, the paper's group-count rule
+// otherwise. It enforces the Ng ≤ T² feasibility bound (a group must own at
+// least one element of the T×T tile).
+func (s Strategy) Transform(k int) (*winograd.Transform, error) {
+	tr, err := winograd.ForKernelTile(k, s.Ng, s.TileM)
+	if err != nil {
+		return nil, err
+	}
+	if s.Ng > tr.T*tr.T {
+		return nil, fmt.Errorf("comm: Ng=%d exceeds the %d elements of the %s tile", s.Ng, tr.T*tr.T, tr)
+	}
+	return tr, nil
 }
 
 // Volumes is the per-worker, per-iteration communication of one layer,

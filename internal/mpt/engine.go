@@ -24,6 +24,13 @@ import (
 type Config struct {
 	Ng, Nc int
 
+	// TileM selects the Winograd tile output size m of F(m×m,r×r) when a
+	// transform is resolved per layer (NewNetConfigs): 0 keeps the
+	// group-count rule of winograd.ForKernel, matching all pre-planner
+	// behavior bit-for-bit; an explicit m runs F(m×m) regardless of Ng —
+	// the planner's tile-size axis carried into the numeric engine.
+	TileM int
+
 	// Predict enables activation prediction during FpropReLU's tile
 	// gathering: tiles provably non-activated skip their payload.
 	Predict bool

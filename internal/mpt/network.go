@@ -40,9 +40,11 @@ func NewNet(tr *winograd.Transform, params []conv.Params, cfg Config, rng *tenso
 
 // NewNetConfigs builds a network whose layers run under per-layer worker
 // organizations — the form an autoplan (internal/planner) produces. Layer
-// i's transform is resolved from its kernel size and group count via
-// winograd.ForKernel, so one net may mix single-group F(4×4,3×3) layers
-// with multi-group F(2×2,·) ones.
+// i's transform is resolved from its kernel size, group count and tile
+// choice via winograd.ForKernelTile (TileM = 0 keeps the historical
+// winograd.ForKernel rule), so one net may mix single-group F(4×4,3×3)
+// layers with multi-group F(2×2,·) ones, or run an explicit planner-chosen
+// tile size.
 func NewNetConfigs(params []conv.Params, cfgs []Config, rng *tensor.RNG) (*Net, error) {
 	if len(params) == 0 {
 		return nil, fmt.Errorf("mpt: empty network")
@@ -51,7 +53,7 @@ func NewNetConfigs(params []conv.Params, cfgs []Config, rng *tensor.RNG) (*Net, 
 		return nil, fmt.Errorf("mpt: %d configs for %d layers", len(cfgs), len(params))
 	}
 	return buildNet(func(i int) (*winograd.Transform, error) {
-		return winograd.ForKernel(params[i].K, cfgs[i].Ng)
+		return winograd.ForKernelTile(params[i].K, cfgs[i].Ng, cfgs[i].TileM)
 	}, params, cfgs, rng)
 }
 

@@ -33,6 +33,9 @@ func (p Plan) EngineConfigs(base mpt.Config, batch int) []mpt.Config {
 			nc = 1
 		}
 		cfg.Nc = nc
+		// The tile-size axis carries through to the numeric engine: 0 keeps
+		// mpt's per-layer ForKernel rule, an explicit m runs F(m×m).
+		cfg.TileM = c.St.TileM
 		out[i] = cfg
 	}
 	return out

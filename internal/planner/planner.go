@@ -58,6 +58,13 @@ type Options struct {
 	Config sim.SystemConfig
 	// Slack overrides DefaultSlack when > 0.
 	Slack float64
+	// AllowWideTiles admits the numerically unsafe F(6×6,3×3) transform
+	// into the tile-size axis (mptsim -autoplan -allow-wide-tiles). The
+	// default axis stops at F(4×4,3×3): the coefficient growth of wider
+	// Cook–Toom transforms amplifies float32 error beyond training
+	// tolerance (winograd/stability_test.go), so m = 6 is inference-grade
+	// only and must be an explicit choice.
+	AllowWideTiles bool
 }
 
 func (o Options) config() sim.SystemConfig {
@@ -176,7 +183,7 @@ func Build(net model.Network, opts Options) Plan {
 	prunedTotals := make([]int, len(net.Layers))
 
 	for i, l := range net.Layers {
-		cands := Candidates(l, net.Batch, p, opts.predictive(), sys.Reductions)
+		cands := Candidates(l, net.Batch, p, opts.predictive(), sys.Reductions, opts.AllowWideTiles)
 		for ci := range cands {
 			cands[ci].FloorSec = sys.CommFloorSec(l, net.Batch, cands[ci].St)
 		}
@@ -323,18 +330,21 @@ func solveDP(sys sim.System, net model.Network, nodes [][]node) (float64, []int)
 // Candidates enumerates the strategy space for one layer: the menu
 // anchors and direct baseline first (exempt from pruning), then every
 // feasible (Ng, Nc, Nf, Ni) factorization of p in comm.Factorizations
-// order. Feasibility: the transform for Ng must have at least Ng tile
-// elements, clusters cannot outnumber batch samples, and shard counts
-// cannot outnumber the channels they split.
-func Candidates(l model.Layer, batch, p int, predictive bool, red comm.Reductions) []Candidate {
+// order, each crossed with the Winograd tile-size axis (TileM = 0 is the
+// paper's group-count rule; explicit m values that differ from it widen
+// the space, with m = 6 admitted only behind wideTiles). Feasibility: the
+// resolved transform must have at least Ng tile elements, clusters cannot
+// outnumber batch samples, and shard counts cannot outnumber the channels
+// they split.
+func Candidates(l model.Layer, batch, p int, predictive bool, red comm.Reductions, wideTiles bool) []Candidate {
 	type key struct {
-		ng, nc, nf, ni int
-		winograd       bool
+		ng, nc, nf, ni, tileM int
+		winograd              bool
 	}
 	seen := make(map[key]bool)
 	var out []Candidate
 	add := func(st comm.Strategy, anchor bool) {
-		k := key{st.Ng, st.Nc, st.FilterShards(), st.ChannelShards(), st.Winograd}
+		k := key{st.Ng, st.Nc, st.FilterShards(), st.ChannelShards(), st.TileM, st.Winograd}
 		if seen[k] {
 			return
 		}
@@ -354,15 +364,36 @@ func Candidates(l model.Layer, batch, p int, predictive bool, red comm.Reduction
 		if f.Nc > batch || f.Nf > l.P.Out || f.Ni > l.P.In {
 			continue
 		}
-		tr, err := winograd.ForKernel(l.P.K, f.Ng)
-		if err != nil || f.Ng > tr.T*tr.T {
-			continue
+		// The tile axis: TileM = 0 first (the paper rule — what the menu
+		// anchors use, so it dedups against them), then the explicit sizes
+		// that differ from the rule's choice for this Ng. Only 3×3 kernels
+		// have alternatives (F(2×2,5×5) is the sole 5×5 transform).
+		paperM := 4
+		if f.Ng > 1 {
+			paperM = 2
 		}
-		st := comm.Strategy{Ng: f.Ng, Nc: f.Nc, Nf: f.Nf, Ni: f.Ni, Winograd: true}
-		if predictive {
-			st.GatherReduction, st.ScatterReduction = red.Get(tr.T, f.Ng)
+		tileMs := [4]int{0, -1, -1, -1}
+		nt := 1
+		if l.P.K == 3 {
+			for _, m := range [3]int{2, 4, 6} {
+				if m == paperM || (m == 6 && !wideTiles) {
+					continue
+				}
+				tileMs[nt] = m
+				nt++
+			}
 		}
-		add(st, false)
+		for _, tm := range tileMs[:nt] {
+			tr, err := winograd.ForKernelTile(l.P.K, f.Ng, tm)
+			if err != nil || f.Ng > tr.T*tr.T {
+				continue
+			}
+			st := comm.Strategy{Ng: f.Ng, Nc: f.Nc, Nf: f.Nf, Ni: f.Ni, Winograd: true, TileM: tm}
+			if predictive {
+				st.GatherReduction, st.ScatterReduction = red.Get(tr.T, f.Ng)
+			}
+			add(st, false)
+		}
 	}
 	return out
 }
@@ -380,6 +411,15 @@ func redistSec(sys sim.System, prev model.Layer, batch int, a, b comm.Strategy) 
 	ov := axisOverlap(a.Nc, b.Nc) *
 		axisOverlap(a.FilterShards(), b.ChannelShards()) *
 		axisOverlap(a.Ng, b.Ng)
+	// A tile-size change re-blocks the tile-position partition the groups
+	// shard over: when either side actually shards it (Ng > 1), only the
+	// aligned fraction of the old m×m blocking survives in place.
+	if a.Ng > 1 || b.Ng > 1 {
+		ma, mb := effTileM(a, prev.P.K), effTileM(b, prev.P.K)
+		if ma != mb {
+			ov *= axisOverlap(ma*ma, mb*mb)
+		}
+	}
 	outBytes := 4 * int64(batch) * int64(prev.P.Out) * int64(prev.P.OutH()) * int64(prev.P.OutW())
 	moved := float64(outBytes) / float64(sys.Workers) * (1 - ov)
 	if moved <= 0 {
@@ -390,6 +430,23 @@ func redistSec(sys sim.System, prev model.Layer, batch int, a, b comm.Strategy) 
 		cong = 1
 	}
 	return moved*cong/(sys.LinkBW/2) + 2*sys.SerDesSec
+}
+
+// effTileM resolves the tile output size a strategy actually runs with for
+// kernel size k: the explicit TileM axis, or the paper's group-count rule
+// when unset (F(2×2) for multi-group 3×3 layers, F(4×4) otherwise; 5×5
+// kernels only have m = 2).
+func effTileM(st comm.Strategy, k int) int {
+	if !st.Winograd {
+		return 1
+	}
+	if st.TileM != 0 {
+		return st.TileM
+	}
+	if k == 3 && st.Ng == 1 {
+		return 4
+	}
+	return 2
 }
 
 // axisOverlap returns the resident fraction min(a,b)/max(a,b) when one

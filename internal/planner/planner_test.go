@@ -86,6 +86,45 @@ func TestPlanBeatsMenu(t *testing.T) {
 	}
 }
 
+// TestPlanNeverPicksWideTileByDefault pins the safety gate: F(6×6,3×3)
+// is training-unsafe (see internal/winograd stability tests), so the
+// default search must never choose it — neither as an explicit TileM=6
+// nor via the paper rule (which tops out at m=4).
+func TestPlanNeverPicksWideTileByDefault(t *testing.T) {
+	for _, net := range planNets() {
+		p := Build(net, Options{System: sim.DefaultSystem()})
+		for i, c := range p.Choices {
+			l := net.Layers[i]
+			if m := effTileM(c.St, l.P.K); m >= 6 {
+				t.Errorf("%s/%s: default plan chose F(%d×%d) tile (%+v)", net.Name, l.Name, m, m, c.St)
+			}
+		}
+	}
+}
+
+// TestPlanBeatsMenuWideTiles re-runs the acceptance criterion with the
+// F(6×6,3×3) axis enabled: widening the search space can only improve
+// (or match) the plan, and the executed plan must still track ExecSec.
+func TestPlanBeatsMenuWideTiles(t *testing.T) {
+	for _, net := range planNets() {
+		sys := sim.DefaultSystem()
+		p := Build(net, Options{System: sys, AllowWideTiles: true})
+		if p.ExecSec > p.MenuExecSec {
+			t.Errorf("%s: wide-tile plan exec %.3fus exceeds menu exec %.3fus",
+				net.Name, p.ExecSec*1e6, p.MenuExecSec*1e6)
+		}
+		base := Build(net, Options{System: sys})
+		if p.ExecSec > base.ExecSec {
+			t.Errorf("%s: wide-tile plan %.3fus worse than default plan %.3fus — wider axis must not regress",
+				net.Name, p.ExecSec*1e6, base.ExecSec*1e6)
+		}
+		exec := sys.SimulateNetworkWithPlan(net, sim.WMpFull, p.Strategies())
+		if exec.IterationSec != p.ExecSec {
+			t.Errorf("%s: executed wide-tile plan %.6gs != plan ExecSec %.6gs", net.Name, exec.IterationSec, p.ExecSec)
+		}
+	}
+}
+
 // TestPlanDeterminism cross-checks byte-identical plans at host worker
 // counts 1, 2 and 8 — the repo-wide bit-determinism contract.
 func TestPlanDeterminism(t *testing.T) {
@@ -116,7 +155,7 @@ func TestCandidatesValid(t *testing.T) {
 	const p = 256
 	for _, net := range planNets() {
 		for _, l := range net.Layers {
-			cands := Candidates(l, net.Batch, p, true, comm.PaperReductions())
+			cands := Candidates(l, net.Batch, p, true, comm.PaperReductions(), false)
 			if len(cands) == 0 {
 				t.Fatalf("%s: no candidates", l.Name)
 			}
@@ -164,7 +203,7 @@ func TestPruningSound(t *testing.T) {
 	net := model.AlexNet()
 	sys := sim.DefaultSystem()
 	for _, l := range net.Layers {
-		cands := Candidates(l, net.Batch, sys.Workers, true, sys.Reductions)
+		cands := Candidates(l, net.Batch, sys.Workers, true, sys.Reductions, false)
 		bestSim := 0.0
 		for _, c := range cands {
 			r := sys.SimulateLayerStrategy(l, net.Batch, sim.WMpFull, c.St)

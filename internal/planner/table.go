@@ -19,7 +19,7 @@ func (p Plan) WriteTSV(w io.Writer) error {
 		p.Network, p.Workers, p.Config, p.Slack)
 	fmt.Fprintf(bw, "# exec_us=%.3f\tmenu_exec_us=%.3f\ttotal_us=%.3f\tredist_us=%.3f\tmenu_total_us=%.3f\n",
 		p.ExecSec*1e6, p.MenuExecSec*1e6, p.TotalSec*1e6, p.RedistSec*1e6, p.MenuTotalSec*1e6)
-	fmt.Fprintln(bw, "layer\trepeat\twinograd\tng\tnc\tnf\tni\tlayer_us\tredist_us\tachieved_bytes\tbound_bytes\tbound_ratio\tcandidates\tpruned")
+	fmt.Fprintln(bw, "layer\trepeat\twinograd\tng\tnc\tnf\tni\ttile\tlayer_us\tredist_us\tachieved_bytes\tbound_bytes\tbound_ratio\tcandidates\tpruned")
 	for _, c := range p.Choices {
 		ratio := 0.0
 		if c.BoundBytes > 0 {
@@ -29,8 +29,11 @@ func (p Plan) WriteTSV(w io.Writer) error {
 		if c.St.Winograd {
 			wino = 1
 		}
-		fmt.Fprintf(bw, "%s\t%d\t%d\t%d\t%d\t%d\t%d\t%.3f\t%.3f\t%d\t%d\t%.4f\t%d\t%d\n",
-			c.Layer, c.Repeat, wino, c.St.Ng, c.St.Nc, c.St.FilterShards(), c.St.ChannelShards(),
+		// tile is the chosen F(m×m) output size: 0 means the paper's
+		// group-count rule (menu-compatible), an explicit m the planner's
+		// tile-size axis.
+		fmt.Fprintf(bw, "%s\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%.3f\t%.3f\t%d\t%d\t%.4f\t%d\t%d\n",
+			c.Layer, c.Repeat, wino, c.St.Ng, c.St.Nc, c.St.FilterShards(), c.St.ChannelShards(), c.St.TileM,
 			c.LayerSec*1e6, c.RedistSec*1e6,
 			c.AchievedBytes, c.BoundBytes, ratio, c.Candidates, c.Pruned)
 	}

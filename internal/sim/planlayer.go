@@ -16,15 +16,16 @@ import (
 
 // SimulateLayerStrategy runs one training iteration of layer l under an
 // explicit parallelization strategy — the planner's cost oracle. The
-// transform follows the paper's kernel rule for st.Ng; non-Winograd
-// strategies run the direct-convolution (d_dp) phase model. The result's
-// BoundBytes carries the layer's dense communication floor so callers can
-// report achieved-vs-bound traffic.
+// transform follows the strategy's tile axis (st.TileM, with 0 = the
+// paper's kernel rule for st.Ng); non-Winograd strategies run the
+// direct-convolution (d_dp) phase model. The result's BoundBytes carries
+// the layer's dense communication floor so callers can report
+// achieved-vs-bound traffic.
 func (s System) SimulateLayerStrategy(l model.Layer, batch int, c SystemConfig, st comm.Strategy) LayerResult {
 	tr := winograd.F4x4_3x3 // unused on the direct path
 	if st.Winograd {
 		var err error
-		tr, err = winograd.ForKernel(l.P.K, st.Ng)
+		tr, err = st.Transform(l.P.K)
 		if err != nil {
 			panic(err)
 		}
@@ -48,7 +49,7 @@ func (s System) CommFloorSec(l model.Layer, batch int, st comm.Strategy) float64
 	if !st.Winograd {
 		return s.collectiveSeconds(comm.SpatialWeightBytes(l.P), s.Workers, s.ringBW(DDp))
 	}
-	tr, err := winograd.ForKernel(l.P.K, st.Ng)
+	tr, err := st.Transform(l.P.K)
 	if err != nil {
 		panic(err)
 	}

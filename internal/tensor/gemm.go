@@ -27,12 +27,23 @@ import (
 // are bit-identical to MatMulNaiveInto for all finite inputs (the
 // reference's zero-operand skip only elides +0/-0 addends, which cannot
 // change an accumulator that starts at +0).
+//
+// The micro-kernel and its blocking parameters are not fixed: the driver is
+// parameterized by the runtime-dispatched tier (gemm_kernel.go), each tier
+// bundling one assembly kernel with the MC/KC/NC panel geometry tuned for
+// its register tile. The constants below are the portable/SSE2 4×8 geometry
+// and the defaults the portable tier reports; wider tiers carry their own.
 const (
-	gemmMR = 4   // micro-kernel rows (A panel strip height)
-	gemmNR = 8   // micro-kernel cols (B panel strip width; 2 SSE vectors)
+	gemmMR = 4   // sse2 micro-kernel rows (A panel strip height)
+	gemmNR = 8   // sse2 micro-kernel cols (B panel strip width; 2 SSE vectors)
 	gemmMC = 128 // rows of A per packed panel; multiple of gemmMR
 	gemmKC = 256 // shared depth per packed panel
 	gemmNC = 512 // cols of B per packed panel; multiple of gemmNR
+
+	// gemmMaxMR/NR bound any tier's register tile; microKernel's on-stack
+	// accumulator block is sized by them.
+	gemmMaxMR = 16
+	gemmMaxNR = 16
 
 	// gemmMinFlops is the problem size (2·M·N·K flops / 2) below which the
 	// packing overhead outweighs the blocking win and the naive loops are
@@ -47,18 +58,23 @@ const (
 // must not be shared between concurrent GEMMs — parallel callers keep one
 // per worker (see winograd.Scratch).
 type GemmScratch struct {
-	ap []float32 // packed A panel: gemmMC × gemmKC, MR-row strips
-	bp []float32 // packed B panel: gemmKC × gemmNC, NR-col strips
+	ap []float32 // packed A panel: mc × kc of the requesting tier, MR-row strips
+	bp []float32 // packed B panel: kc × nc of the requesting tier, NR-col strips
 }
 
-func (s *GemmScratch) panels() (ap, bp []float32) {
-	if cap(s.ap) < gemmMC*gemmKC {
-		s.ap = make([]float32, gemmMC*gemmKC)
+// panels returns the packing buffers sized for tier g's panel geometry —
+// sizing from the active tier rather than compile-time constants is what
+// lets the 8×8 kernels use wider panels without overrunning (and the 4×8
+// tier without over-allocating). Buffers only ever grow, so a scratch that
+// has served a wide tier keeps satisfying narrower ones without reallocating.
+func (s *GemmScratch) panels(g *gemmKernel) (ap, bp []float32) {
+	if cap(s.ap) < g.mc*g.kc {
+		s.ap = make([]float32, g.mc*g.kc)
 	}
-	if cap(s.bp) < gemmKC*gemmNC {
-		s.bp = make([]float32, gemmKC*gemmNC)
+	if cap(s.bp) < g.kc*g.nc {
+		s.bp = make([]float32, g.kc*g.nc)
 	}
-	return s.ap[:gemmMC*gemmKC], s.bp[:gemmKC*gemmNC]
+	return s.ap[:g.mc*g.kc], s.bp[:g.kc*g.nc]
 }
 
 // gemmPool backs the convenience entry points that do not thread their own
@@ -160,11 +176,16 @@ func MatMulIntoScratch(dst, a, b *Mat, s *GemmScratch) {
 			dst.Rows, dst.Cols, a.Rows, a.Cols, b.Rows, b.Cols))
 	}
 	countGemm(dst.Rows, dst.Cols, a.Cols)
-	if smallGemm(dst.Rows, dst.Cols, a.Cols) {
-		MatMulNaiveInto(dst, a, b)
+	g := activeGemm.Load()
+	if smallGemm(g, dst.Rows, dst.Cols, a.Cols) {
+		if g.fused {
+			fmaNaiveInto(dst, a, b)
+		} else {
+			MatMulNaiveInto(dst, a, b)
+		}
 		return
 	}
-	gemmBlocked(dst, a.Data, a.Cols, b.Data, b.Cols, dst.Rows, dst.Cols, a.Cols, false, false, s)
+	gemmBlocked(dst, a.Data, a.Cols, b.Data, b.Cols, dst.Rows, dst.Cols, a.Cols, false, false, s, g)
 }
 
 // MatMulNTInto computes dst = a×bᵀ without materializing bᵀ: b is stored
@@ -183,11 +204,16 @@ func MatMulNTInto(dst, a, b *Mat) {
 func MatMulNTIntoScratch(dst, a, b *Mat, s *GemmScratch) {
 	checkNT(dst, a, b)
 	countGemm(dst.Rows, dst.Cols, a.Cols)
-	if smallGemm(dst.Rows, dst.Cols, a.Cols) {
-		MatMulNTNaiveInto(dst, a, b)
+	g := activeGemm.Load()
+	if smallGemm(g, dst.Rows, dst.Cols, a.Cols) {
+		if g.fused {
+			fmaNTNaiveInto(dst, a, b)
+		} else {
+			MatMulNTNaiveInto(dst, a, b)
+		}
 		return
 	}
-	gemmBlocked(dst, a.Data, a.Cols, b.Data, b.Cols, dst.Rows, dst.Cols, a.Cols, false, true, s)
+	gemmBlocked(dst, a.Data, a.Cols, b.Data, b.Cols, dst.Rows, dst.Cols, a.Cols, false, true, s, g)
 }
 
 // MatMulTNInto computes dst = aᵀ×b without materializing aᵀ: a is stored
@@ -206,11 +232,16 @@ func MatMulTNInto(dst, a, b *Mat) {
 func MatMulTNIntoScratch(dst, a, b *Mat, s *GemmScratch) {
 	checkTN(dst, a, b)
 	countGemm(dst.Rows, dst.Cols, a.Rows)
-	if smallGemm(dst.Rows, dst.Cols, a.Rows) {
-		MatMulTNNaiveInto(dst, a, b)
+	g := activeGemm.Load()
+	if smallGemm(g, dst.Rows, dst.Cols, a.Rows) {
+		if g.fused {
+			fmaTNNaiveInto(dst, a, b)
+		} else {
+			MatMulTNNaiveInto(dst, a, b)
+		}
 		return
 	}
-	gemmBlocked(dst, a.Data, a.Cols, b.Data, b.Cols, dst.Rows, dst.Cols, a.Rows, true, false, s)
+	gemmBlocked(dst, a.Data, a.Cols, b.Data, b.Cols, dst.Rows, dst.Cols, a.Rows, true, false, s, g)
 }
 
 // MatMulNT returns a×bᵀ as a new matrix.
@@ -227,39 +258,45 @@ func MatMulTN(a, b *Mat) *Mat {
 	return out
 }
 
-func smallGemm(m, n, k int) bool {
-	// Without the assembly micro-kernel the packed path has no throughput
-	// edge over the reference loops, so everything stays on them.
-	return !haveKernel4x8 || m < 2*gemmMR || n < 2*gemmNR || m*n*k < gemmMinFlops
+// smallGemm reports whether the problem should stay on the reference loops
+// under tier g: the portable tier always does (no assembly kernel means the
+// packed path has no throughput edge), and every tier keeps operands below
+// gemmMinFlops or thinner than two register tiles on them.
+func smallGemm(g *gemmKernel, m, n, k int) bool {
+	return g.kern == nil || m < 2*g.mr || n < 2*g.nr || m*n*k < gemmMinFlops
 }
 
 // gemmBlocked is the blocked driver: dst(M×N) = opA(a)·opB(b) where aT/bT
 // select the transposed reading of the row-major storage. lda/ldb are the
-// storage row strides (a.Cols / b.Cols of the stored matrices).
-func gemmBlocked(dst *Mat, a []float32, lda int, b []float32, ldb int, m, n, k int, aT, bT bool, s *GemmScratch) {
-	ap, bp := s.panels()
+// storage row strides (a.Cols / b.Cols of the stored matrices). Panel and
+// register-tile geometry come from the dispatch tier g; full tiles run g's
+// assembly kernel and edge tiles the portable microKernel, which follows
+// g's accumulation semantics (plain or fused).
+func gemmBlocked(dst *Mat, a []float32, lda int, b []float32, ldb int, m, n, k int, aT, bT bool, s *GemmScratch, g *gemmKernel) {
+	ap, bp := s.panels(g)
+	MR, NR := g.mr, g.nr
 	ldd := dst.Cols
 	for i := range dst.Data {
 		dst.Data[i] = 0
 	}
-	for jc := 0; jc < n; jc += gemmNC {
-		nc := min(gemmNC, n-jc)
-		for pc := 0; pc < k; pc += gemmKC {
-			kc := min(gemmKC, k-pc)
-			packB(bp, b, ldb, pc, kc, jc, nc, bT)
-			for ic := 0; ic < m; ic += gemmMC {
-				mc := min(gemmMC, m-ic)
-				packA(ap, a, lda, ic, mc, pc, kc, aT)
-				for jr := 0; jr < nc; jr += gemmNR {
-					nr := min(gemmNR, nc-jr)
-					bs := bp[(jr/gemmNR)*kc*gemmNR:]
-					for ir := 0; ir < mc; ir += gemmMR {
-						mr := min(gemmMR, mc-ir)
-						as := ap[(ir/gemmMR)*kc*gemmMR:]
-						if haveKernel4x8 && mr == gemmMR && nr == gemmNR {
-							kernel4x8(&dst.Data[(ic+ir)*ldd+jc+jr], ldd, kc, &as[0], &bs[0])
+	for jc := 0; jc < n; jc += g.nc {
+		nc := min(g.nc, n-jc)
+		for pc := 0; pc < k; pc += g.kc {
+			kc := min(g.kc, k-pc)
+			packB(bp, b, ldb, pc, kc, jc, nc, bT, NR)
+			for ic := 0; ic < m; ic += g.mc {
+				mc := min(g.mc, m-ic)
+				packA(ap, a, lda, ic, mc, pc, kc, aT, MR)
+				for jr := 0; jr < nc; jr += NR {
+					nr := min(NR, nc-jr)
+					bs := bp[(jr/NR)*kc*NR:]
+					for ir := 0; ir < mc; ir += MR {
+						mr := min(MR, mc-ir)
+						as := ap[(ir/MR)*kc*MR:]
+						if g.kern != nil && mr == MR && nr == NR {
+							g.kern(&dst.Data[(ic+ir)*ldd+jc+jr], ldd, kc, &as[0], &bs[0])
 						} else {
-							microKernel(dst.Data, ldd, ic+ir, jc+jr, mr, nr, kc, as, bs)
+							microKernel(dst.Data, ldd, ic+ir, jc+jr, mr, nr, kc, as, bs, g)
 						}
 					}
 				}
@@ -268,33 +305,34 @@ func gemmBlocked(dst *Mat, a []float32, lda int, b []float32, ldb int, m, n, k i
 	}
 }
 
-// packA packs the mc×kc block of opA(a) at (ic, pc) into MR-row strips,
-// k-major within each strip: ap[strip][k][r]. Strips past the last valid
-// row are zero-padded so the micro-kernel needs no row-remainder variant
-// (padded rows are computed but never stored).
-func packA(ap, a []float32, lda, ic, mc, pc, kc int, aT bool) {
-	for ir := 0; ir < mc; ir += gemmMR {
-		strip := ap[(ir/gemmMR)*kc*gemmMR:]
-		rows := min(gemmMR, mc-ir)
+// packA packs the mc×kc block of opA(a) at (ic, pc) into MR-row strips
+// (MR = the tier's register-tile height), k-major within each strip:
+// ap[strip][k][r]. Strips past the last valid row are zero-padded so the
+// micro-kernel needs no row-remainder variant (padded rows are computed but
+// never stored).
+func packA(ap, a []float32, lda, ic, mc, pc, kc int, aT bool, MR int) {
+	for ir := 0; ir < mc; ir += MR {
+		strip := ap[(ir/MR)*kc*MR:]
+		rows := min(MR, mc-ir)
 		if aT {
 			// opA(a)[i][k] = a[k][i]: walk k rows of storage.
 			for kk := 0; kk < kc; kk++ {
 				src := a[(pc+kk)*lda+ic+ir:]
-				d := strip[kk*gemmMR:]
+				d := strip[kk*MR:]
 				for r := 0; r < rows; r++ {
 					d[r] = src[r]
 				}
-				for r := rows; r < gemmMR; r++ {
+				for r := rows; r < MR; r++ {
 					d[r] = 0
 				}
 			}
 		} else {
 			for kk := 0; kk < kc; kk++ {
-				d := strip[kk*gemmMR:]
+				d := strip[kk*MR:]
 				for r := 0; r < rows; r++ {
 					d[r] = a[(ic+ir+r)*lda+pc+kk]
 				}
-				for r := rows; r < gemmMR; r++ {
+				for r := rows; r < MR; r++ {
 					d[r] = 0
 				}
 			}
@@ -302,31 +340,32 @@ func packA(ap, a []float32, lda, ic, mc, pc, kc int, aT bool) {
 	}
 }
 
-// packB packs the kc×nc block of opB(b) at (pc, jc) into NR-column strips,
-// k-major within each strip: bp[strip][k][c], zero-padding partial strips.
-func packB(bp, b []float32, ldb, pc, kc, jc, nc int, bT bool) {
-	for jr := 0; jr < nc; jr += gemmNR {
-		strip := bp[(jr/gemmNR)*kc*gemmNR:]
-		cols := min(gemmNR, nc-jr)
+// packB packs the kc×nc block of opB(b) at (pc, jc) into NR-column strips
+// (NR = the tier's register-tile width), k-major within each strip:
+// bp[strip][k][c], zero-padding partial strips.
+func packB(bp, b []float32, ldb, pc, kc, jc, nc int, bT bool, NR int) {
+	for jr := 0; jr < nc; jr += NR {
+		strip := bp[(jr/NR)*kc*NR:]
+		cols := min(NR, nc-jr)
 		if bT {
 			// opB(b)[k][j] = b[j][k]: each packed column is a storage row.
 			for kk := 0; kk < kc; kk++ {
-				d := strip[kk*gemmNR:]
+				d := strip[kk*NR:]
 				for c := 0; c < cols; c++ {
 					d[c] = b[(jc+jr+c)*ldb+pc+kk]
 				}
-				for c := cols; c < gemmNR; c++ {
+				for c := cols; c < NR; c++ {
 					d[c] = 0
 				}
 			}
 		} else {
 			for kk := 0; kk < kc; kk++ {
 				src := b[(pc+kk)*ldb+jc+jr:]
-				d := strip[kk*gemmNR:]
+				d := strip[kk*NR:]
 				for c := 0; c < cols; c++ {
 					d[c] = src[c]
 				}
-				for c := cols; c < gemmNR; c++ {
+				for c := cols; c < NR; c++ {
 					d[c] = 0
 				}
 			}
@@ -339,36 +378,49 @@ func packB(bp, b []float32, ldb, pc, kc, jc, nc int, bT bool) {
 // seeded from dst (zeroed once by gemmBlocked before the first depth block)
 // so each element's k-chain runs in ascending order across blocks — the
 // determinism contract. It is the portable fallback for edge tiles and for
-// architectures without the assembly kernel; the panel entries past mr/nr
-// are zero padding and are neither read into nor stored from the valid
-// region.
-func microKernel(dst []float32, ldd, i0, j0, mr, nr, kc int, as, bs []float32) {
-	var acc [gemmMR * gemmNR]float32
+// tiers without an assembly kernel, following tier g's register-tile
+// geometry and accumulation semantics (FMA32 chains under a fused tier, so
+// edge tiles match the fused assembly kernel bit for bit). The panel
+// entries past mr/nr are zero padding and are neither read into nor stored
+// from the valid region.
+func microKernel(dst []float32, ldd, i0, j0, mr, nr, kc int, as, bs []float32, g *gemmKernel) {
+	MR, NR := g.mr, g.nr
+	var acc [gemmMaxMR * gemmMaxNR]float32
 	for r := 0; r < mr; r++ {
 		drow := dst[(i0+r)*ldd+j0:]
-		arow := acc[r*gemmNR:]
+		arow := acc[r*NR:]
 		for c := 0; c < nr; c++ {
 			arow[c] = drow[c]
 		}
 	}
-	as = as[: kc*gemmMR : kc*gemmMR]
-	bs = bs[: kc*gemmNR : kc*gemmNR]
-	for len(as) >= gemmMR && len(bs) >= gemmNR {
-		ak := as[:gemmMR]
-		bk := bs[:gemmNR]
-		as = as[gemmMR:]
-		bs = bs[gemmNR:]
-		for r := 0; r < gemmMR; r++ {
-			av := ak[r]
-			arow := acc[r*gemmNR : r*gemmNR+gemmNR]
-			for c, bv := range bk {
-				arow[c] += av * bv
+	as = as[: kc*MR : kc*MR]
+	bs = bs[: kc*NR : kc*NR]
+	for len(as) >= MR && len(bs) >= NR {
+		ak := as[:MR]
+		bk := bs[:NR]
+		as = as[MR:]
+		bs = bs[NR:]
+		if g.fused {
+			for r := 0; r < MR; r++ {
+				av := ak[r]
+				arow := acc[r*NR : r*NR+NR]
+				for c, bv := range bk {
+					arow[c] = FMA32(av, bv, arow[c])
+				}
+			}
+		} else {
+			for r := 0; r < MR; r++ {
+				av := ak[r]
+				arow := acc[r*NR : r*NR+NR]
+				for c, bv := range bk {
+					arow[c] += av * bv
+				}
 			}
 		}
 	}
 	for r := 0; r < mr; r++ {
 		drow := dst[(i0+r)*ldd+j0:]
-		arow := acc[r*gemmNR:]
+		arow := acc[r*NR:]
 		for c := 0; c < nr; c++ {
 			drow[c] = arow[c]
 		}

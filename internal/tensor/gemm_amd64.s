@@ -90,3 +90,185 @@ store:
 	MOVUPS X6, (R10)(SI*1)
 	MOVUPS X7, 16(R10)(SI*1)
 	RET
+
+// func kernel8x8avx2(dst *float32, ldd, kc int, as, bs *float32)
+//
+// 8×8 SGEMM micro-kernel over one packed depth block (AVX2 dispatch tier).
+// Same contract as kernel4x8: accumulators seed from dst and store back, k
+// ascends, and each YMM lane is one output element — VBROADCASTSS/VMULPS/
+// VADDPS round every lane independently exactly like the scalar reference
+// chain, so the tier is bit-identical to the SSE2/naive path. No fused
+// multiply-add is used here by design (that is the separate `fma` tier).
+//
+// Register plan (16 YMM):
+//   Y0..Y7  accumulators: one dst row each (8 columns)
+//   Y8      current B row (8 columns)
+//   Y9      broadcast A element
+//   Y10     product temporary
+TEXT ·kernel8x8avx2(SB), NOSPLIT, $0-40
+	MOVQ dst+0(FP), DI
+	MOVQ ldd+8(FP), SI
+	MOVQ kc+16(FP), DX
+	MOVQ as+24(FP), R8
+	MOVQ bs+32(FP), R9
+
+	SHLQ $2, SI              // row stride in bytes
+	LEAQ (DI)(SI*2), R10     // &dst[2·ldd]
+	LEAQ (R10)(SI*2), R11    // &dst[4·ldd]
+	LEAQ (R11)(SI*2), R12    // &dst[6·ldd]
+
+	// Seed accumulators from the stored partials.
+	VMOVUPS (DI), Y0
+	VMOVUPS (DI)(SI*1), Y1
+	VMOVUPS (R10), Y2
+	VMOVUPS (R10)(SI*1), Y3
+	VMOVUPS (R11), Y4
+	VMOVUPS (R11)(SI*1), Y5
+	VMOVUPS (R12), Y6
+	VMOVUPS (R12)(SI*1), Y7
+
+	TESTQ DX, DX
+	JZ    avx2store
+
+avx2loop:
+	VMOVUPS (R9), Y8         // b[k][0:8]
+
+	VBROADCASTSS (R8), Y9    // a[k][0]
+	VMULPS       Y8, Y9, Y10
+	VADDPS       Y10, Y0, Y0
+	VBROADCASTSS 4(R8), Y9   // a[k][1]
+	VMULPS       Y8, Y9, Y10
+	VADDPS       Y10, Y1, Y1
+	VBROADCASTSS 8(R8), Y9   // a[k][2]
+	VMULPS       Y8, Y9, Y10
+	VADDPS       Y10, Y2, Y2
+	VBROADCASTSS 12(R8), Y9  // a[k][3]
+	VMULPS       Y8, Y9, Y10
+	VADDPS       Y10, Y3, Y3
+	VBROADCASTSS 16(R8), Y9  // a[k][4]
+	VMULPS       Y8, Y9, Y10
+	VADDPS       Y10, Y4, Y4
+	VBROADCASTSS 20(R8), Y9  // a[k][5]
+	VMULPS       Y8, Y9, Y10
+	VADDPS       Y10, Y5, Y5
+	VBROADCASTSS 24(R8), Y9  // a[k][6]
+	VMULPS       Y8, Y9, Y10
+	VADDPS       Y10, Y6, Y6
+	VBROADCASTSS 28(R8), Y9  // a[k][7]
+	VMULPS       Y8, Y9, Y10
+	VADDPS       Y10, Y7, Y7
+
+	ADDQ $32, R8             // next packed A row (8 floats)
+	ADDQ $32, R9             // next packed B row (8 floats)
+	DECQ DX
+	JNZ  avx2loop
+
+avx2store:
+	VMOVUPS Y0, (DI)
+	VMOVUPS Y1, (DI)(SI*1)
+	VMOVUPS Y2, (R10)
+	VMOVUPS Y3, (R10)(SI*1)
+	VMOVUPS Y4, (R11)
+	VMOVUPS Y5, (R11)(SI*1)
+	VMOVUPS Y6, (R12)
+	VMOVUPS Y7, (R12)(SI*1)
+	VZEROUPPER
+	RET
+
+// func kernel8x8fma(dst *float32, ldd, kc int, as, bs *float32)
+//
+// 8×8 micro-kernel of the explicit `fma` tier: identical structure to
+// kernel8x8avx2 but each lane update is a single-rounded fused multiply-add
+// (VFMADD231PS). Per lane this computes FMA32(a, b, acc) in ascending k —
+// the tier's scalar reference in gemm_fma.go — which is NOT bit-identical
+// to the mul+add tiers, so dispatch never selects it automatically.
+//
+// Go asm reverses the Intel operand order: VFMADD231PS Y8, Y9, Yn
+// computes Yn += Y9·Y8.
+TEXT ·kernel8x8fma(SB), NOSPLIT, $0-40
+	MOVQ dst+0(FP), DI
+	MOVQ ldd+8(FP), SI
+	MOVQ kc+16(FP), DX
+	MOVQ as+24(FP), R8
+	MOVQ bs+32(FP), R9
+
+	SHLQ $2, SI
+	LEAQ (DI)(SI*2), R10
+	LEAQ (R10)(SI*2), R11
+	LEAQ (R11)(SI*2), R12
+
+	VMOVUPS (DI), Y0
+	VMOVUPS (DI)(SI*1), Y1
+	VMOVUPS (R10), Y2
+	VMOVUPS (R10)(SI*1), Y3
+	VMOVUPS (R11), Y4
+	VMOVUPS (R11)(SI*1), Y5
+	VMOVUPS (R12), Y6
+	VMOVUPS (R12)(SI*1), Y7
+
+	TESTQ DX, DX
+	JZ    fmastore
+
+fmaloop:
+	VMOVUPS (R9), Y8         // b[k][0:8]
+
+	VBROADCASTSS (R8), Y9    // a[k][0]
+	VFMADD231PS  Y8, Y9, Y0
+	VBROADCASTSS 4(R8), Y9   // a[k][1]
+	VFMADD231PS  Y8, Y9, Y1
+	VBROADCASTSS 8(R8), Y9   // a[k][2]
+	VFMADD231PS  Y8, Y9, Y2
+	VBROADCASTSS 12(R8), Y9  // a[k][3]
+	VFMADD231PS  Y8, Y9, Y3
+	VBROADCASTSS 16(R8), Y9  // a[k][4]
+	VFMADD231PS  Y8, Y9, Y4
+	VBROADCASTSS 20(R8), Y9  // a[k][5]
+	VFMADD231PS  Y8, Y9, Y5
+	VBROADCASTSS 24(R8), Y9  // a[k][6]
+	VFMADD231PS  Y8, Y9, Y6
+	VBROADCASTSS 28(R8), Y9  // a[k][7]
+	VFMADD231PS  Y8, Y9, Y7
+
+	ADDQ $32, R8
+	ADDQ $32, R9
+	DECQ DX
+	JNZ  fmaloop
+
+fmastore:
+	VMOVUPS Y0, (DI)
+	VMOVUPS Y1, (DI)(SI*1)
+	VMOVUPS Y2, (R10)
+	VMOVUPS Y3, (R10)(SI*1)
+	VMOVUPS Y4, (R11)
+	VMOVUPS Y5, (R11)(SI*1)
+	VMOVUPS Y6, (R12)
+	VMOVUPS Y7, (R12)(SI*1)
+	VZEROUPPER
+	RET
+
+// func cpuidRaw(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+//
+// Raw CPUID — the repo is stdlib-only, so feature detection cannot lean on
+// golang.org/x/sys. CPUID is unprivileged and serializing; leaf/subleaf go
+// in via EAX/ECX.
+TEXT ·cpuidRaw(SB), NOSPLIT, $0-24
+	MOVL leaf+0(FP), AX
+	MOVL sub+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbvRaw() (eax, edx uint32)
+//
+// XGETBV with XCR0 selected: bits 1|2 of EAX report whether the OS saves
+// XMM+YMM state across context switches — without them AVX execution
+// faults, whatever CPUID says about the silicon.
+TEXT ·xgetbvRaw(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET

@@ -1,0 +1,93 @@
+package tensor
+
+import "math"
+
+// FMA32 returns x*y+z computed with a single float32 rounding — the scalar
+// reference the explicit `fma` dispatch tier is verified against bit by bit
+// (hardware VFMADD231PS has exactly these semantics per lane).
+//
+// math.FMA on widened operands is NOT that: it rounds the exact sum to
+// float64 first, and the follow-up float64→float32 conversion can double-
+// round. The fix is Boldo–Melquiond round-to-odd: the float64 product
+// p = x·y is exact (24+24 significand bits ≤ 53), the 2Sum of p and z
+// recovers the rounding error of s = p+z, and when the true sum was
+// inexact, s is nudged onto an odd significand toward the error before
+// the final conversion. Rounding to odd at 53 bits then to nearest at 24
+// is correct because 53 ≥ 2·24+2.
+func FMA32(x, y, z float32) float32 {
+	p := float64(x) * float64(y) // exact
+	zd := float64(z)
+	s := p + zd
+	if math.IsNaN(s) || math.IsInf(s, 0) {
+		return float32(s)
+	}
+	// 2Sum (Knuth): e is the exact error of the addition p+zd.
+	t := s - p
+	e := (p - (s - t)) + (zd - t)
+	if e != 0 && math.Float64bits(s)&1 == 0 {
+		// The addition was inexact and landed on an even significand:
+		// replace round-to-nearest with round-to-odd by stepping one ulp
+		// toward the discarded remainder.
+		if e > 0 {
+			s = math.Nextafter(s, math.Inf(1))
+		} else {
+			s = math.Nextafter(s, math.Inf(-1))
+		}
+	}
+	return float32(s)
+}
+
+// The fmaNaive* loops are the reference semantics of the fused dispatch
+// tier: identical traversal orders to the MatMul*NaiveInto loops, with
+// every accumulator update a single-rounded FMA32 and no zero-operand
+// skipping (an FMA can change the sign of a zero where mul+add would not,
+// so eliding zero addends is no longer an identity).
+
+func fmaNaiveInto(dst, a, b *Mat) {
+	for i := range dst.Data {
+		dst.Data[i] = 0
+	}
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
+		drow := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
+		for k, av := range arow {
+			brow := b.Data[k*b.Cols : (k+1)*b.Cols]
+			for j, bv := range brow {
+				drow[j] = FMA32(av, bv, drow[j])
+			}
+		}
+	}
+}
+
+func fmaNTNaiveInto(dst, a, b *Mat) {
+	k := a.Cols
+	for i := 0; i < dst.Rows; i++ {
+		arow := a.Data[i*k : (i+1)*k]
+		drow := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
+		for j := range drow {
+			brow := b.Data[j*k : (j+1)*k]
+			var acc float32
+			for p, av := range arow {
+				acc = FMA32(av, brow[p], acc)
+			}
+			drow[j] = acc
+		}
+	}
+}
+
+func fmaTNNaiveInto(dst, a, b *Mat) {
+	for i := range dst.Data {
+		dst.Data[i] = 0
+	}
+	m, n := dst.Rows, dst.Cols
+	for k := 0; k < a.Rows; k++ {
+		arow := a.Data[k*m : (k+1)*m]
+		brow := b.Data[k*n : (k+1)*n]
+		for i, av := range arow {
+			drow := dst.Data[i*n : (i+1)*n]
+			for j, bv := range brow {
+				drow[j] = FMA32(av, bv, drow[j])
+			}
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package tensor
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"sync/atomic"
+)
+
+// Runtime GEMM dispatch. The blocked driver in gemm.go is parameterized by
+// a gemmKernel — one register-tiled micro-kernel plus the cache-panel
+// geometry tuned for it — and the process selects the fastest tier the CPU
+// supports at init (raw CPUID on amd64, no third-party modules). The
+// determinism contract stays per-element: every unfused tier computes the
+// same ascending-k float32 chain as MatMulNaiveInto, lane-parallel across
+// output columns only, so switching tiers (or machines) never changes a
+// result bit. The one exception is the explicit `fma` tier: fused
+// multiply-adds round once per update, so it is bit-identical to the
+// FMA32 scalar reference instead, and the auto-dispatch never selects it —
+// it must be forced via MPTWINO_GEMM_KERNEL=fma or SelectGemmKernel.
+//
+// Tier geometry (per micro-kernel, amd64):
+//
+//	sse2  4×8  MC=128 KC=256 NC=512   A panel 128 KB (L2), B strip 8 KB (L1)
+//	avx2  8×8  MC=192 KC=256 NC=1024  A panel 192 KB (L2), B strip 8 KB (L1)
+//	fma   8×8  same panels as avx2, VFMADD231PS inner loop
+//
+// The portable tier has no assembly micro-kernel and keeps every product on
+// the reference loops — the exact behavior of a -tags purego or non-amd64
+// build.
+
+// EnvGemmKernel is the environment variable that forces a dispatch tier
+// (portable|sse2|avx2|fma); empty or "auto" selects the best unfused tier
+// the CPU supports. An unsupported forced tier panics at init with the
+// available list — CI legs probe availability first (cmd/gemmprobe).
+const EnvGemmKernel = "MPTWINO_GEMM_KERNEL"
+
+// gemmKernel is one dispatch tier: a micro-kernel and its blocking.
+type gemmKernel struct {
+	name   string
+	mr, nr int // micro-kernel tile (A strip height × B strip width)
+	mc, kc int // packed A panel: mc×kc, mc a multiple of mr
+	nc     int // packed B panel: kc×nc, nc a multiple of nr
+
+	// kern computes one full mr×nr tile over a depth block, seeding its
+	// accumulators from dst (see kernel4x8). nil marks the portable tier:
+	// no blocking edge, every product stays on the naive reference loops.
+	kern func(dst *float32, ldd, kc int, as, bs *float32)
+
+	// fused marks tiers whose accumulation chain is fused multiply-add
+	// (single rounding per update, FMA32 reference semantics). Never
+	// auto-selected.
+	fused bool
+}
+
+// activeGemm is the tier every MatMul* entry point reads (atomically, so
+// tests may switch tiers without racing in-flight GEMMs; a GEMM reads it
+// once at entry and stays on that tier throughout).
+var activeGemm atomic.Pointer[gemmKernel]
+
+func init() {
+	// One-time dispatch init: CPUID probe (gemmKernels, per-platform) plus
+	// the environment override. Everything downstream is allocation-free.
+	if err := SelectGemmKernel(os.Getenv(EnvGemmKernel)); err != nil {
+		panic(err)
+	}
+}
+
+// SelectGemmKernel forces the GEMM dispatch tier by name ("" or "auto"
+// restores the CPU-probed default). It errors — without changing the
+// active tier — when the name is unknown or the CPU lacks the tier.
+func SelectGemmKernel(name string) error {
+	if name == "" || name == "auto" {
+		activeGemm.Store(autoGemmKernel())
+		return nil
+	}
+	for _, g := range gemmKernels {
+		if g.name == name {
+			activeGemm.Store(g)
+			return nil
+		}
+	}
+	return fmt.Errorf("tensor: %s=%q is not available on this CPU (available: %s)",
+		EnvGemmKernel, name, strings.Join(GemmKernels(), "|"))
+}
+
+// autoGemmKernel returns the fastest unfused tier the CPU supports; the
+// tier list is ordered portable-first, fastest-last, with fused tiers
+// (result-changing, explicit-only) never eligible.
+func autoGemmKernel() *gemmKernel {
+	best := gemmKernels[0]
+	for _, g := range gemmKernels[1:] {
+		if !g.fused {
+			best = g
+		}
+	}
+	return best
+}
+
+// GemmKernel returns the active dispatch tier's name — the value benchdiff
+// records in baseline metadata.
+func GemmKernel() string { return activeGemm.Load().name }
+
+// GemmKernels lists the tiers this CPU can run, in dispatch-preference
+// order (portable first, fused tiers last).
+func GemmKernels() []string {
+	out := make([]string, len(gemmKernels))
+	for i, g := range gemmKernels {
+		out[i] = g.name
+	}
+	return out
+}

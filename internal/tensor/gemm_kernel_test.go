@@ -1,0 +1,227 @@
+package tensor
+
+import (
+	"math"
+	"math/big"
+	"math/rand"
+	"os"
+	"testing"
+)
+
+// restoreGemmKernel re-applies the process's configured tier (environment
+// override included) when the test finishes, so tier-switching tests leave
+// the suite in the state the CI leg forced.
+func restoreGemmKernel(t testing.TB) {
+	t.Helper()
+	if err := SelectGemmKernel(os.Getenv(EnvGemmKernel)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGemmKernelSelection(t *testing.T) {
+	defer restoreGemmKernel(t)
+
+	names := GemmKernels()
+	if len(names) == 0 || names[0] != "portable" {
+		t.Fatalf("tier list must start with portable, got %v", names)
+	}
+	for _, name := range names {
+		if err := SelectGemmKernel(name); err != nil {
+			t.Fatalf("selecting listed tier %q: %v", name, err)
+		}
+		if got := GemmKernel(); got != name {
+			t.Fatalf("active tier %q after selecting %q", got, name)
+		}
+	}
+
+	// Unknown tiers must fail without clobbering the active one.
+	before := GemmKernel()
+	if err := SelectGemmKernel("avx512-unobtainium"); err == nil {
+		t.Fatal("expected error for unknown tier")
+	}
+	if got := GemmKernel(); got != before {
+		t.Fatalf("failed selection changed the active tier: %q -> %q", before, got)
+	}
+
+	// Auto dispatch never picks a fused (result-changing) tier.
+	if err := SelectGemmKernel("auto"); err != nil {
+		t.Fatal(err)
+	}
+	if activeGemm.Load().fused {
+		t.Fatalf("auto dispatch selected fused tier %q", GemmKernel())
+	}
+}
+
+// TestGemmAllTiersTailShapes forces every tier this CPU supports and runs
+// the full NN/NT/TN entry-point set over shapes straddling each tier's own
+// register-tile boundaries (m,n,k ∈ {1, MR−1, MR, MR+1, 2·MR+1, …}),
+// requiring bit-identity with the tier's reference chain. Together with the
+// CI tier matrix (which forces tiers via MPTWINO_GEMM_KERNEL at the process
+// level) this pins the per-tier determinism contract.
+func TestGemmAllTiersTailShapes(t *testing.T) {
+	defer restoreGemmKernel(t)
+	rng := rand.New(rand.NewSource(99))
+	for _, name := range GemmKernels() {
+		if err := SelectGemmKernel(name); err != nil {
+			t.Fatal(err)
+		}
+		g := activeGemm.Load()
+		refNN, refNT, refTN := gemmRefs(g)
+		dims := []int{1, g.mr - 1, g.mr, g.mr + 1, 2*g.mr + 1, g.nr - 1, g.nr, g.nr + 1, 2*g.nr + 1, 3 * g.nr}
+		ks := []int{1, 2, g.kc - 1, g.kc, g.kc + 1, 37}
+		for _, m := range dims {
+			if m < 1 {
+				continue
+			}
+			for _, n := range dims {
+				if n < 1 {
+					continue
+				}
+				for _, k := range ks {
+					a := randMat(rng, m, k, 0.15)
+					b := randMat(rng, k, n, 0.15)
+					want := NewMat(m, n)
+					refNN(want, a, b)
+					got := NewMat(m, n)
+					MatMulInto(got, a, b)
+					requireBitIdentical(t, name+" NN", want, got)
+
+					bt := b.T()
+					wantNT := NewMat(m, n)
+					refNT(wantNT, a, bt)
+					got.Zero()
+					MatMulNTInto(got, a, bt)
+					requireBitIdentical(t, name+" NT", wantNT, got)
+
+					at := a.T()
+					wantTN := NewMat(m, n)
+					refTN(wantTN, at, b)
+					got.Zero()
+					MatMulTNInto(got, at, b)
+					requireBitIdentical(t, name+" TN", wantTN, got)
+				}
+			}
+		}
+	}
+}
+
+// TestGemmUnfusedTiersBitIdentical locks the headline dispatch guarantee:
+// all unfused tiers produce the same bits for the same inputs, so the auto
+// choice (which varies by CPU) never changes results.
+func TestGemmUnfusedTiersBitIdentical(t *testing.T) {
+	defer restoreGemmKernel(t)
+	rng := rand.New(rand.NewSource(1234))
+	m, n, k := 129, 130, 2*gemmKC+17
+	a := randMat(rng, m, k, 0.1)
+	b := randMat(rng, k, n, 0.1)
+	var ref *Mat
+	var refName string
+	for _, name := range GemmKernels() {
+		if err := SelectGemmKernel(name); err != nil {
+			t.Fatal(err)
+		}
+		if activeGemm.Load().fused {
+			continue
+		}
+		got := NewMat(m, n)
+		MatMulInto(got, a, b)
+		if ref == nil {
+			ref, refName = got, name
+			continue
+		}
+		requireBitIdentical(t, refName+" vs "+name, ref, got)
+	}
+}
+
+// TestFMA32MatchesExact proves the round-to-odd emulation: FMA32 must equal
+// the exact x·y+z rounded once to float32, computed here in high-precision
+// big.Float arithmetic (the products and sums below are exact at 200 bits;
+// Float32() then performs the single round-to-nearest-even).
+func TestFMA32MatchesExact(t *testing.T) {
+	check := func(x, y, z float32) {
+		t.Helper()
+		bx := new(big.Float).SetPrec(200).SetFloat64(float64(x))
+		by := new(big.Float).SetPrec(200).SetFloat64(float64(y))
+		bz := new(big.Float).SetPrec(200).SetFloat64(float64(z))
+		exact := new(big.Float).SetPrec(200).Mul(bx, by)
+		exact.Add(exact, bz)
+		want, _ := exact.Float32()
+		got := FMA32(x, y, z)
+		if math.Float32bits(want) != math.Float32bits(got) {
+			t.Fatalf("FMA32(%v, %v, %v) = %v (bits %08x), want %v (bits %08x)",
+				x, y, z, got, math.Float32bits(got), want, math.Float32bits(want))
+		}
+	}
+
+	// Adversarial double-rounding cases: products that land near the
+	// midpoint between adjacent float32 values once z is added.
+	adversarial := [][3]float32{
+		{1 + 0x1p-23, 1 + 0x1p-23, -1},
+		{1 + 0x1p-23, 1 - 0x1p-23, -1},
+		{0x1p-120, 0x1p-120, 0x1p-126},
+		{0x1.fffffep+0, 0x1.fffffep+0, -0x1.fffffcp+1},
+		{3, 0x1p-23, 1},
+		{-3, 0x1p-23, 1},
+		{0x1.000002p0, 0x1.000002p0, 0x1p-45},
+		{0x1.000002p0, 0x1.000002p0, -0x1p-45},
+	}
+	for _, c := range adversarial {
+		check(c[0], c[1], c[2])
+	}
+
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 200000; i++ {
+		x := float32(rng.NormFloat64())
+		y := float32(rng.NormFloat64())
+		z := float32(rng.NormFloat64())
+		// Mix in magnitude spreads that exercise the sticky-bit region.
+		switch i % 4 {
+		case 1:
+			z *= 0x1p-40
+		case 2:
+			z *= 0x1p+30
+		case 3:
+			x *= 0x1p-60
+		}
+		check(x, y, z)
+	}
+
+	// Specials pass through the widened arithmetic untouched.
+	if got := FMA32(float32(math.Inf(1)), 1, 1); !math.IsInf(float64(got), 1) {
+		t.Fatalf("FMA32(+Inf,1,1) = %v", got)
+	}
+	if got := FMA32(1, 1, float32(math.NaN())); !math.IsNaN(float64(got)) {
+		t.Fatalf("FMA32(1,1,NaN) = %v", got)
+	}
+}
+
+// TestGemmScratchPanelsPerTier pins the satellite fix: packing buffers are
+// sized from the requesting tier's geometry, not compile-time constants, so
+// wide tiers never overrun and narrow tiers reuse wide allocations.
+func TestGemmScratchPanelsPerTier(t *testing.T) {
+	defer restoreGemmKernel(t)
+	var s GemmScratch
+	maxAP, maxBP := 0, 0
+	for _, name := range GemmKernels() {
+		if err := SelectGemmKernel(name); err != nil {
+			t.Fatal(err)
+		}
+		g := activeGemm.Load()
+		ap, bp := s.panels(g)
+		if len(ap) != g.mc*g.kc || len(bp) != g.kc*g.nc {
+			t.Fatalf("%s: panels %d/%d, want %d/%d", name, len(ap), len(bp), g.mc*g.kc, g.kc*g.nc)
+		}
+		if g.mc*g.kc > maxAP {
+			maxAP = g.mc * g.kc
+		}
+		if g.kc*g.nc > maxBP {
+			maxBP = g.kc * g.nc
+		}
+	}
+	// Buffers grow monotonically: after serving every tier the capacity is
+	// the maximum requirement, not the last tier's.
+	if cap(s.ap) < maxAP || cap(s.bp) < maxBP {
+		t.Fatalf("scratch shrank below the widest tier: cap %d/%d, want ≥ %d/%d",
+			cap(s.ap), cap(s.bp), maxAP, maxBP)
+	}
+}

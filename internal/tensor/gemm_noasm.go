@@ -2,12 +2,14 @@
 
 package tensor
 
-// haveKernel4x8 is false without the assembly micro-kernel; gemmBlocked
-// uses the portable microKernel for every tile.
-const haveKernel4x8 = false
-
-// kernel4x8 is never called when haveKernel4x8 is false; this stub only
-// satisfies the compiler.
-func kernel4x8(dst *float32, ldd, kc int, as, bs *float32) {
-	panic("tensor: kernel4x8 called without assembly support")
+// Without the assembly micro-kernels (non-amd64, or -tags purego) the only
+// dispatch tier is portable: gemmKernel.kern is nil, so every GEMM stays on
+// the reference loops regardless of size — the behavior the bit-identity
+// tests pin the assembly tiers against.
+var gemmKernels = []*gemmKernel{
+	{name: "portable", mr: gemmMR, nr: gemmNR, mc: gemmMC, kc: gemmKC, nc: gemmNC},
 }
+
+// CPUFeatures reports no SIMD dispatch capability on this build: either the
+// architecture has no assembly tiers or -tags purego disabled them.
+func CPUFeatures() string { return "none" }

@@ -52,11 +52,23 @@ func ulpClose(want, got float32, maxUlps int32) bool {
 	return d <= maxUlps
 }
 
+// gemmRefs returns the reference loops matching tier g's accumulation
+// semantics: the plain ascending-k mul+add chains for unfused tiers, the
+// single-rounded FMA32 chains for fused ones.
+func gemmRefs(g *gemmKernel) (nn, nt, tn func(dst, a, b *Mat)) {
+	if g.fused {
+		return fmaNaiveInto, fmaNTNaiveInto, fmaTNNaiveInto
+	}
+	return MatMulNaiveInto, MatMulNTNaiveInto, MatMulTNNaiveInto
+}
+
 // The blocked kernel must be bit-identical to the naive reference for
 // finite inputs: every output element's float32 accumulation chain is the
 // same ascending-k chain, and the reference's zero-skip only elides ±0
 // addends. Shapes straddle every blocking boundary (MR/NR strip remainders,
-// MC/KC/NC panel remainders) and the small-dispatch threshold.
+// MC/KC/NC panel remainders) and the small-dispatch threshold. The test
+// runs against whatever tier is active (MPTWINO_GEMM_KERNEL included), so
+// the CI tier matrix re-proves the contract per tier.
 func TestBlockedGemmBitIdenticalToNaive(t *testing.T) {
 	rng := rand.New(rand.NewSource(42))
 	shapes := [][3]int{ // {m, n, k}
@@ -67,16 +79,18 @@ func TestBlockedGemmBitIdenticalToNaive(t *testing.T) {
 		{gemmMC, gemmNR * 2, gemmKC}, {gemmMC + 1, 37, gemmKC + 1},
 		{40, gemmNC + 3, 19}, {97, 101, 103},
 	}
+	g := activeGemm.Load()
+	refNN, refNT, refTN := gemmRefs(g)
 	for _, sh := range shapes {
 		m, n, k := sh[0], sh[1], sh[2]
 		a := randMat(rng, m, k, 0.15)
 		b := randMat(rng, k, n, 0.15)
 		want := NewMat(m, n)
-		MatMulNaiveInto(want, a, b)
+		refNN(want, a, b)
 
 		got := NewMat(m, n)
 		var s GemmScratch
-		gemmBlocked(got, a.Data, a.Cols, b.Data, b.Cols, m, n, k, false, false, &s)
+		gemmBlocked(got, a.Data, a.Cols, b.Data, b.Cols, m, n, k, false, false, &s, g)
 		requireBitIdentical(t, "blocked NN", want, got)
 
 		// Public dispatch (small shapes take the naive path, large the
@@ -88,34 +102,25 @@ func TestBlockedGemmBitIdenticalToNaive(t *testing.T) {
 		// NT: same product with b stored transposed (n×k).
 		bt := b.T()
 		gotNT := NewMat(m, n)
-		gemmBlocked(gotNT, a.Data, a.Cols, bt.Data, bt.Cols, m, n, k, false, true, &s)
-		requireBitIdenticalNT(t, want, gotNT, a, bt)
+		wantNT := NewMat(m, n)
+		refNT(wantNT, a, bt)
+		gemmBlocked(gotNT, a.Data, a.Cols, bt.Data, bt.Cols, m, n, k, false, true, &s, g)
+		requireBitIdentical(t, "blocked NT", wantNT, gotNT)
 		gotNT.Zero()
 		MatMulNTInto(gotNT, a, bt)
-		requireBitIdenticalNT(t, want, gotNT, a, bt)
+		requireBitIdentical(t, "MatMulNTInto", wantNT, gotNT)
 
 		// TN: same product with a stored transposed (k×m).
 		at := a.T()
 		gotTN := NewMat(m, n)
-		gemmBlocked(gotTN, at.Data, at.Cols, b.Data, b.Cols, m, n, k, true, false, &s)
+		gemmBlocked(gotTN, at.Data, at.Cols, b.Data, b.Cols, m, n, k, true, false, &s, g)
 		wantTN := NewMat(m, n)
-		MatMulTNNaiveInto(wantTN, at, b)
+		refTN(wantTN, at, b)
 		requireBitIdentical(t, "blocked TN", wantTN, gotTN)
 		gotTN.Zero()
 		MatMulTNInto(gotTN, at, b)
 		requireBitIdentical(t, "MatMulTNInto", wantTN, gotTN)
 	}
-}
-
-// requireBitIdenticalNT compares the NT result against its own naive
-// reference (the NT reference's k-chain matches the blocked kernel's; it
-// also equals the NN product mathematically, which TestGemmVariantsAgree
-// checks under a ulp tolerance).
-func requireBitIdenticalNT(t *testing.T, _ *Mat, got, a, bt *Mat) {
-	t.Helper()
-	want := NewMat(got.Rows, got.Cols)
-	MatMulNTNaiveInto(want, a, bt)
-	requireBitIdentical(t, "blocked NT", want, got)
 }
 
 // All three variants compute the same mathematical product; across variants
@@ -151,8 +156,9 @@ func TestBlockedGemmOverwritesDst(t *testing.T) {
 	m, n, k := 70, 40, 2*gemmKC+17
 	a := randMat(rng, m, k, 0)
 	b := randMat(rng, k, n, 0)
+	refNN, _, _ := gemmRefs(activeGemm.Load())
 	want := NewMat(m, n)
-	MatMulNaiveInto(want, a, b)
+	refNN(want, a, b)
 	got := NewMat(m, n)
 	for i := range got.Data {
 		got.Data[i] = float32(math.NaN())
@@ -193,21 +199,31 @@ func FuzzBlockedGemmMatchesNaive(f *testing.F) {
 		rng := rand.New(rand.NewSource(seed))
 		a := randMat(rng, m, k, 0.2)
 		b := randMat(rng, k, n, 0.2)
-		want := NewMat(m, n)
-		MatMulNaiveInto(want, a, b)
-		var s GemmScratch
-		got := NewMat(m, n)
-		gemmBlocked(got, a.Data, a.Cols, b.Data, b.Cols, m, n, k, false, false, &s)
-		requireBitIdentical(t, "fuzz NN", want, got)
-		bt := b.T()
-		gemmBlocked(got, a.Data, a.Cols, bt.Data, bt.Cols, m, n, k, false, true, &s)
-		wantNT := NewMat(m, n)
-		MatMulNTNaiveInto(wantNT, a, bt)
-		requireBitIdentical(t, "fuzz NT", wantNT, got)
-		at := a.T()
-		gemmBlocked(got, at.Data, at.Cols, b.Data, b.Cols, m, n, k, true, false, &s)
-		wantTN := NewMat(m, n)
-		MatMulTNNaiveInto(wantTN, at, b)
-		requireBitIdentical(t, "fuzz TN", wantTN, got)
+		// Every tier this CPU can run must match its own reference chain;
+		// the active tier is restored by the caller-level cleanup below.
+		defer restoreGemmKernel(t)
+		for _, name := range GemmKernels() {
+			if err := SelectGemmKernel(name); err != nil {
+				t.Fatal(err)
+			}
+			g := activeGemm.Load()
+			refNN, refNT, refTN := gemmRefs(g)
+			want := NewMat(m, n)
+			refNN(want, a, b)
+			var s GemmScratch
+			got := NewMat(m, n)
+			gemmBlocked(got, a.Data, a.Cols, b.Data, b.Cols, m, n, k, false, false, &s, g)
+			requireBitIdentical(t, "fuzz NN "+name, want, got)
+			bt := b.T()
+			gemmBlocked(got, a.Data, a.Cols, bt.Data, bt.Cols, m, n, k, false, true, &s, g)
+			wantNT := NewMat(m, n)
+			refNT(wantNT, a, bt)
+			requireBitIdentical(t, "fuzz NT "+name, wantNT, got)
+			at := a.T()
+			gemmBlocked(got, at.Data, at.Cols, b.Data, b.Cols, m, n, k, true, false, &s, g)
+			wantTN := NewMat(m, n)
+			refTN(wantTN, at, b)
+			requireBitIdentical(t, "fuzz TN "+name, wantTN, got)
+		}
 	})
 }

@@ -100,12 +100,17 @@ func MatMulInto(dst, a, b *Mat) {
 			dst.Rows, dst.Cols, a.Rows, a.Cols, b.Rows, b.Cols))
 	}
 	countGemm(dst.Rows, dst.Cols, a.Cols)
-	if smallGemm(dst.Rows, dst.Cols, a.Cols) {
-		MatMulNaiveInto(dst, a, b)
+	g := activeGemm.Load()
+	if smallGemm(g, dst.Rows, dst.Cols, a.Cols) {
+		if g.fused {
+			fmaNaiveInto(dst, a, b)
+		} else {
+			MatMulNaiveInto(dst, a, b)
+		}
 		return
 	}
 	s := gemmPool.Get().(*GemmScratch)
-	gemmBlocked(dst, a.Data, a.Cols, b.Data, b.Cols, dst.Rows, dst.Cols, a.Cols, false, false, s)
+	gemmBlocked(dst, a.Data, a.Cols, b.Data, b.Cols, dst.Rows, dst.Cols, a.Cols, false, false, s, g)
 	gemmPool.Put(s)
 }
 

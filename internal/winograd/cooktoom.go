@@ -199,6 +199,13 @@ var (
 	F4x4_3x3 = MustTransform(4, 3)
 	F2x2_5x5 = MustTransform(2, 5)
 	F2_3     = MustTransform(2, 3) // used one-dimensionally
+
+	// F6x6_3x3 (tile 8×8) is beyond the paper's menu: it maximizes compute
+	// reduction (36 outputs per 64-element tile) but its transform
+	// coefficients grow enough that training is numerically unsafe (see
+	// stability_test.go), so the planner only enumerates it behind the
+	// explicit AllowWideTiles opt-in.
+	F6x6_3x3 = MustTransform(6, 3)
 )
 
 // ForKernel returns the transform the paper selects for kernel size k under
@@ -206,15 +213,40 @@ var (
 // (smaller Winograd-domain weights), F(4×4,3×3) for a single group (more
 // compute reduction); 5×5 kernels always use F(2×2,5×5).
 func ForKernel(k, groups int) (*Transform, error) {
-	switch k {
-	case 3:
-		if groups > 1 {
-			return F2x2_3x3, nil
+	return ForKernelTile(k, groups, 0)
+}
+
+// ForKernelTile resolves the transform for kernel size k with an explicit
+// tile output size m; m = 0 keeps the paper's ForKernel rule (the group
+// count picks the tile), which is what every fixed-menu path uses. A
+// non-zero m is the planner's tile-size axis: for 3×3 kernels m ∈ {2, 4, 6}
+// selects F(m×m,3×3) regardless of the group count, 5×5 kernels support
+// only m = 2. The caller is responsible for the Ng ≤ T² feasibility bound
+// (comm.Strategy.Transform checks it).
+func ForKernelTile(k, groups, m int) (*Transform, error) {
+	if m == 0 {
+		switch k {
+		case 3:
+			if groups > 1 {
+				return F2x2_3x3, nil
+			}
+			return F4x4_3x3, nil
+		case 5:
+			return F2x2_5x5, nil
+		default:
+			return nil, fmt.Errorf("winograd: no transform configured for %dx%d kernels", k, k)
 		}
+	}
+	switch {
+	case k == 3 && m == 2:
+		return F2x2_3x3, nil
+	case k == 3 && m == 4:
 		return F4x4_3x3, nil
-	case 5:
+	case k == 3 && m == 6:
+		return F6x6_3x3, nil
+	case k == 5 && m == 2:
 		return F2x2_5x5, nil
 	default:
-		return nil, fmt.Errorf("winograd: no transform configured for %dx%d kernels", k, k)
+		return nil, fmt.Errorf("winograd: no F(%dx%d,%dx%d) transform configured", m, m, k, k)
 	}
 }

@@ -8,10 +8,18 @@ import (
 	"mptwino/internal/tensor"
 )
 
-// sandwichRef is the reference the fused paths must match bit-exactly:
-// the allocating tensor.Sandwich pipeline the transforms used previously.
+// sandwichRef is the reference the fused paths must match bit-exactly: the
+// naive mul+add sandwich pipeline the transforms used previously. It pins
+// the unfused reference loops directly rather than tensor.Sandwich because
+// the transform schedules are plain mul+add chains by contract — they do
+// not follow the GEMM dispatch tier, so a forced fused tier
+// (MPTWINO_GEMM_KERNEL=fma) must not change this reference either.
 func sandwichRef(l, x, r *tensor.Mat) *tensor.Mat {
-	return tensor.Sandwich(l, x, r)
+	lx := tensor.NewMat(l.Rows, x.Cols)
+	tensor.MatMulNaiveInto(lx, l, x)
+	out := tensor.NewMat(lx.Rows, r.Cols)
+	tensor.MatMulNaiveInto(out, lx, r)
+	return out
 }
 
 func randTile(rng *rand.Rand, n, m int, zeroFrac float64) *tensor.Mat {
@@ -73,14 +81,39 @@ func checkTransformOps(t *testing.T, tr *Transform, zeroFrac float64) {
 }
 
 // The compiled fused schedules must be bit-identical to the generic
-// Cook–Toom sandwich for every transform the paper uses.
+// Cook–Toom sandwich for every transform the paper uses, plus the wide
+// F(6×6,3×3) (T=8, at the fusedMaxT boundary) the planner's tile axis can
+// select behind AllowWideTiles.
 func TestFusedTransformsBitIdentical(t *testing.T) {
-	for _, tr := range []*Transform{F2x2_3x3, F4x4_3x3, F2x2_5x5} {
+	for _, tr := range []*Transform{F2x2_3x3, F4x4_3x3, F2x2_5x5, F6x6_3x3} {
 		if tr.fused == nil {
 			t.Fatalf("%s: expected compiled fused schedules", tr)
 		}
 		checkTransformOps(t, tr, 0.0)
 		checkTransformOps(t, tr, 0.4) // zero-heavy data (padding tiles)
+	}
+}
+
+// The wide-tile transforms must run their compiled schedules without
+// allocating: they sit under the same steady-state training loops as
+// F(2×2,3×3), so a hidden allocation would break the 0 allocs/op kernel
+// contract layer-wide.
+func TestWideTileTransformsZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for _, tr := range []*Transform{F4x4_3x3, F6x6_3x3} {
+		tmp := make([]float32, tr.TmpLen())
+		w := randTile(rng, tr.R, tr.R, 0)
+		x := randTile(rng, tr.T, tr.T, 0)
+		dw := tensor.NewMat(tr.T, tr.T)
+		dx := tensor.NewMat(tr.T, tr.T)
+		y := tensor.NewMat(tr.M, tr.M)
+		if n := testing.AllocsPerRun(10, func() {
+			tr.FilterToWinogradInto(dw, w, tmp)
+			tr.InputToWinogradInto(dx, x, tmp)
+			tr.OutputFromWinogradInto(y, x, tmp)
+		}); n != 0 {
+			t.Fatalf("%s: compiled transforms allocate %v/op", tr, n)
+		}
 	}
 }
 

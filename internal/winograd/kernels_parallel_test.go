@@ -1,6 +1,7 @@
 package winograd
 
 import (
+	"os"
 	"testing"
 
 	"mptwino/internal/conv"
@@ -119,6 +120,82 @@ func TestWinogradKernelsBitIdenticalAcrossWorkers(t *testing.T) {
 		}
 		if !tensorsEqual(ref.dwSpatial, got.dwSpatial) {
 			t.Errorf("workers=%d: ToSpatialGrad differs", workers)
+		}
+	}
+}
+
+// TestWinogradKernelsBitIdenticalAcrossWorkersPerTier is the dispatch-tier
+// sweep of the worker-count contract: for every GEMM tier this CPU offers,
+// the layer pipeline (forward, backward, weight gradient) is bitwise
+// identical at worker counts {1, 2, 8}, and every unfused tier reproduces
+// the portable tier's bits exactly. The fused `fma` tier is only required
+// to be self-consistent across worker counts — its accumulation chain
+// rounds once per update by design. Geometry is sized so the T² element
+// GEMMs cross the blocked-kernel threshold and actually exercise the
+// assembly micro-kernels.
+func TestWinogradKernelsBitIdenticalAcrossWorkersPerTier(t *testing.T) {
+	defer func() {
+		if err := tensor.SelectGemmKernel(os.Getenv(tensor.EnvGemmKernel)); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	p := conv.Params{In: 32, Out: 32, K: 3, Pad: 1, H: 16, W: 16}
+	tl, err := NewTiling(F4x4_3x3, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := tensor.NewRNG(77)
+	x := tensor.New(4, p.In, p.H, p.W)
+	r.FillNormal(x, 0, 1)
+	sw := tensor.New(p.Out, p.In, p.K, p.K)
+	r.FillHe(sw, p.In*p.K*p.K)
+	dy := tensor.New(4, p.Out, p.OutH(), p.OutW())
+	r.FillNormal(dy, 0, 1)
+
+	type snapshot struct {
+		y, dx *tensor.Tensor
+		dw    *Weights
+	}
+	run := func(workers int) snapshot {
+		prev := parallel.SetDefaultWorkers(workers)
+		defer parallel.SetDefaultWorkers(prev)
+		ww := TransformWeights(F4x4_3x3, sw)
+		xd := tl.TransformInput(x)
+		dyd := tl.TransformOutputGrad(dy)
+		return snapshot{
+			y:  tl.InverseOutput(MulForward(xd, ww, nil)),
+			dx: tl.InverseInputGrad(MulBackward(dyd, ww, nil)),
+			dw: MulGrad(xd, dyd, nil),
+		}
+	}
+
+	var portable snapshot
+	for _, tier := range tensor.GemmKernels() {
+		if err := tensor.SelectGemmKernel(tier); err != nil {
+			t.Fatal(err)
+		}
+		ref := run(1)
+		for _, workers := range []int{2, 8} {
+			got := run(workers)
+			if !tensorsEqual(ref.y, got.y) {
+				t.Errorf("tier=%s workers=%d: forward differs from workers=1", tier, workers)
+			}
+			if !tensorsEqual(ref.dx, got.dx) {
+				t.Errorf("tier=%s workers=%d: backward differs from workers=1", tier, workers)
+			}
+			if !weightsEqual(ref.dw, got.dw) {
+				t.Errorf("tier=%s workers=%d: weight grad differs from workers=1", tier, workers)
+			}
+		}
+		switch tier {
+		case "portable":
+			portable = ref
+		case "fma":
+			// Fused chains round differently; cross-tier identity not required.
+		default:
+			if !tensorsEqual(portable.y, ref.y) || !tensorsEqual(portable.dx, ref.dx) || !weightsEqual(portable.dw, ref.dw) {
+				t.Errorf("tier=%s: unfused tier differs from portable bits", tier)
+			}
 		}
 	}
 }
