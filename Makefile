@@ -35,11 +35,13 @@ fuzz:
 	$(GO) test -fuzz=FuzzBlockedGemmMatchesNaive -fuzztime=30s ./internal/tensor/
 
 # mptlint: the repo's own invariant analyzers (determinism, bounded
-# parallelism, zero-alloc kernels — DESIGN.md §9). Fully offline: type
+# parallelism, zero-alloc kernels — DESIGN.md §9/§14). Fully offline: type
 # information comes from `go list -export` build-cache data, so this runs
-# on an air-gapped machine and is part of `make verify`.
+# on an air-gapped machine and is part of `make verify`. The -cache file
+# keeps the go list metadata warm between runs (revalidated against file
+# hashes and the build cache, so it is always safe to keep).
 lint:
-	$(GO) run ./cmd/mptlint ./...
+	$(GO) run ./cmd/mptlint -cache .mptlintcache/golist.json ./...
 
 # Pinned staticcheck, fetched on demand (requires network, so it is a
 # separate CI-only target: `make lint`/`make verify` must stay offline).

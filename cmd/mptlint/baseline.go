@@ -1,0 +1,130 @@
+package main
+
+// The baseline file records findings that are known and accepted for now,
+// so the suite can gate NEW violations while the accepted ones are worked
+// off. Entries match on (analyzer, relative file, exact message) — no
+// line numbers, so unrelated edits to the same file don't churn the
+// baseline — and each carries a mandatory "why" justification, reviewed
+// like any carve-out. The run fails on stale entries (nothing matched):
+// a baseline that over-claims is how a fixed violation regresses quietly.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"mptwino/internal/lint"
+)
+
+type baselineEntry struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Message  string `json:"message"`
+	Why      string `json:"why"`
+}
+
+type baselineFile struct {
+	Comment string          `json:"comment,omitempty"`
+	Entries []baselineEntry `json:"entries"`
+}
+
+func (e baselineEntry) key() string { return e.Analyzer + "\x00" + e.File + "\x00" + e.Message }
+
+// relPath renders a diagnostic's filename relative to the working
+// directory (the module root in normal runs), slash-separated so the
+// baseline and SARIF output are machine-independent.
+func relPath(wd, filename string) string {
+	if r, err := filepath.Rel(wd, filename); err == nil && !filepath.IsAbs(r) {
+		return filepath.ToSlash(r)
+	}
+	return filepath.ToSlash(filename)
+}
+
+// loadBaseline reads path; a missing file is an empty baseline.
+func loadBaseline(path string) (*baselineFile, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return &baselineFile{}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var bl baselineFile
+	if err := json.Unmarshal(data, &bl); err != nil {
+		return nil, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	seen := map[string]bool{}
+	for _, e := range bl.Entries {
+		if e.Analyzer == "" || e.File == "" || e.Message == "" {
+			return nil, fmt.Errorf("baseline %s: entry %+v is missing analyzer/file/message", path, e)
+		}
+		if e.Why == "" {
+			return nil, fmt.Errorf("baseline %s: entry for %s in %s has no \"why\" — every accepted finding needs a written justification", path, e.Analyzer, e.File)
+		}
+		if seen[e.key()] {
+			return nil, fmt.Errorf("baseline %s: duplicate entry for %s in %s: %q", path, e.Analyzer, e.File, e.Message)
+		}
+		seen[e.key()] = true
+	}
+	return &bl, nil
+}
+
+// applyBaseline splits diags into fresh findings (not covered) and
+// returns the stale entries (covered nothing).
+func applyBaseline(wd string, diags []lint.Diagnostic, bl *baselineFile) (fresh []lint.Diagnostic, stale []baselineEntry, err error) {
+	hit := map[string]bool{}
+	covered := map[string]bool{}
+	for _, e := range bl.Entries {
+		covered[e.key()] = true
+	}
+	for _, d := range diags {
+		k := baselineEntry{Analyzer: d.Analyzer, File: relPath(wd, d.Pos.Filename), Message: d.Message}.key()
+		if covered[k] {
+			hit[k] = true
+			continue
+		}
+		fresh = append(fresh, d)
+	}
+	for _, e := range bl.Entries {
+		if !hit[e.key()] {
+			stale = append(stale, e)
+		}
+	}
+	return fresh, stale, nil
+}
+
+// writeBaseline regenerates path from the current findings, preserving
+// the "why" of entries that survive. Returns the entry count and how many
+// new entries still need a justification written.
+func writeBaseline(path, wd string, diags []lint.Diagnostic) (n, missingWhy int, err error) {
+	oldWhy := map[string]string{}
+	if old, err := loadBaseline(path); err == nil {
+		for _, e := range old.Entries {
+			oldWhy[e.key()] = e.Why
+		}
+	}
+	seen := map[string]bool{}
+	bl := baselineFile{
+		Comment: "Accepted mptlint findings. Matched by (analyzer, file, exact message); every entry needs a \"why\". Regenerate with: go run ./cmd/mptlint -update-baseline ./...",
+	}
+	for _, d := range diags {
+		e := baselineEntry{Analyzer: d.Analyzer, File: relPath(wd, d.Pos.Filename), Message: d.Message}
+		if seen[e.key()] {
+			continue
+		}
+		seen[e.key()] = true
+		e.Why = oldWhy[e.key()]
+		if e.Why == "" {
+			missingWhy++
+		}
+		bl.Entries = append(bl.Entries, e)
+	}
+	sort.Slice(bl.Entries, func(i, j int) bool { return bl.Entries[i].key() < bl.Entries[j].key() })
+	data, err := json.MarshalIndent(bl, "", "  ")
+	if err != nil {
+		return 0, 0, err
+	}
+	return len(bl.Entries), missingWhy, os.WriteFile(path, append(data, '\n'), 0o644)
+}

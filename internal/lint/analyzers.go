@@ -10,6 +10,9 @@ func All() []*Analyzer {
 		NoAlloc,
 		NoTime,
 		FloatOrder,
+		SharedWrite,
+		DetSelect,
+		AllocFlow,
 	}
 }
 

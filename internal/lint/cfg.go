@@ -1,0 +1,702 @@
+package lint
+
+// Control-flow and dataflow engine for the flow-sensitive analyzer tier
+// (DESIGN.md §14). Three layers, each deliberately small and offline:
+//
+//   - buildCFG: basic blocks over one function (or closure) body, with
+//     edges for if/for/range/switch/type-switch/select, break/continue
+//     (labeled and not), fallthrough, return, and panic terminators;
+//   - flowInfo: reaching definitions over the CFG — the classic gen/kill
+//     bitvector worklist fixpoint, at per-statement granularity;
+//   - derivation: a "must be derived from these seed objects" analysis on
+//     top of reaching definitions (greatest fixpoint, so loop-carried
+//     updates like `i += stride` stay derived), which is how sharedwrite
+//     proves a write is partitioned by the worker/item index.
+//
+// The engine never descends into nested *ast.FuncLit bodies: a closure is
+// a separate function with its own CFG; to the enclosing body it is a
+// single opaque expression.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// A block is one basic block: a maximal straight-line sequence of
+// statement-level nodes with edges only at the end.
+type block struct {
+	index int
+	nodes []ast.Node // statements/clauses in execution order
+	succs []*block
+}
+
+// A cfg is the control-flow graph of one function body. entry has no
+// predecessors; exit collects every return/panic/fallthrough-to-end path.
+type cfg struct {
+	blocks []*block
+	entry  *block
+	exit   *block
+}
+
+func (c *cfg) newBlock() *block {
+	b := &block{index: len(c.blocks)}
+	c.blocks = append(c.blocks, b)
+	return b
+}
+
+func edge(from, to *block) { from.succs = append(from.succs, to) }
+
+// breakFrame is one enclosing breakable construct (for/range/switch/select).
+type breakFrame struct {
+	label      string
+	breakTo    *block
+	continueTo *block // nil for switch/select
+}
+
+type cfgBuilder struct {
+	cfg    *cfg
+	cur    *block
+	frames []breakFrame
+	label  string // pending label for the next loop/switch statement
+}
+
+// buildCFG constructs the CFG of body. goto is handled conservatively
+// (edge to exit); everything else is modeled precisely.
+func buildCFG(body *ast.BlockStmt) *cfg {
+	c := &cfg{}
+	b := &cfgBuilder{cfg: c}
+	// The entry block stays empty: parameter pseudo-defs are generated
+	// there, so they reach uses in the first statement block through the
+	// ordinary IN/OUT propagation.
+	c.entry = c.newBlock()
+	c.exit = c.newBlock()
+	first := c.newBlock()
+	edge(c.entry, first)
+	b.cur = first
+	b.stmtList(body.List)
+	edge(b.cur, c.exit)
+	return c
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+// unreachableAfterJump parks the builder on a fresh predecessor-less block
+// so statements after an unconditional jump do not leak into live paths.
+func (b *cfgBuilder) unreachableAfterJump() { b.cur = b.cfg.newBlock() }
+
+func (b *cfgBuilder) frameFor(label string, wantContinue bool) *breakFrame {
+	for i := len(b.frames) - 1; i >= 0; i-- {
+		f := &b.frames[i]
+		if wantContinue && f.continueTo == nil {
+			continue
+		}
+		if label == "" || f.label == label {
+			return f
+		}
+	}
+	return nil
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.LabeledStmt:
+		b.label = s.Label.Name
+		b.stmt(s.Stmt)
+		b.label = ""
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.cur.nodes = append(b.cur.nodes, s.Cond)
+		cond := b.cur
+		join := b.cfg.newBlock()
+		then := b.cfg.newBlock()
+		edge(cond, then)
+		b.cur = then
+		b.stmtList(s.Body.List)
+		edge(b.cur, join)
+		if s.Else != nil {
+			els := b.cfg.newBlock()
+			edge(cond, els)
+			b.cur = els
+			b.stmt(s.Else)
+			edge(b.cur, join)
+		} else {
+			edge(cond, join)
+		}
+		b.cur = join
+
+	case *ast.ForStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		head := b.cfg.newBlock()
+		body := b.cfg.newBlock()
+		exit := b.cfg.newBlock()
+		edge(b.cur, head)
+		if s.Cond != nil {
+			head.nodes = append(head.nodes, s.Cond)
+			edge(head, exit)
+		}
+		edge(head, body)
+		post := head
+		if s.Post != nil {
+			post = b.cfg.newBlock()
+			b.cur = post
+			b.stmt(s.Post)
+			edge(post, head)
+		}
+		b.frames = append(b.frames, breakFrame{label: label, breakTo: exit, continueTo: post})
+		b.cur = body
+		b.stmtList(s.Body.List)
+		edge(b.cur, post)
+		b.frames = b.frames[:len(b.frames)-1]
+		b.cur = exit
+
+	case *ast.RangeStmt:
+		label := b.takeLabel()
+		head := b.cfg.newBlock()
+		body := b.cfg.newBlock()
+		exit := b.cfg.newBlock()
+		edge(b.cur, head)
+		head.nodes = append(head.nodes, s) // range defs (key/value) + use of s.X
+		edge(head, body)
+		edge(head, exit)
+		b.frames = append(b.frames, breakFrame{label: label, breakTo: exit, continueTo: head})
+		b.cur = body
+		b.stmtList(s.Body.List)
+		edge(b.cur, head)
+		b.frames = b.frames[:len(b.frames)-1]
+		b.cur = exit
+
+	case *ast.SwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		if s.Tag != nil {
+			b.cur.nodes = append(b.cur.nodes, s.Tag)
+		}
+		b.switchClauses(label, s.Body.List, nil)
+
+	case *ast.TypeSwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.switchClauses(label, s.Body.List, s.Assign)
+
+	case *ast.SelectStmt:
+		label := b.takeLabel()
+		head := b.cur
+		join := b.cfg.newBlock()
+		b.frames = append(b.frames, breakFrame{label: label, breakTo: join})
+		hasDefault := false
+		for _, cl := range s.Body.List {
+			cc := cl.(*ast.CommClause)
+			cb := b.cfg.newBlock()
+			edge(head, cb)
+			b.cur = cb
+			if cc.Comm != nil {
+				b.stmt(cc.Comm)
+			} else {
+				hasDefault = true
+			}
+			b.stmtList(cc.Body)
+			edge(b.cur, join)
+		}
+		_ = hasDefault // a blocking select always takes some case; no head→join edge
+		if len(s.Body.List) == 0 {
+			edge(head, b.cfg.exit) // select{} blocks forever
+		}
+		b.frames = b.frames[:len(b.frames)-1]
+		b.cur = join
+
+	case *ast.ReturnStmt:
+		b.cur.nodes = append(b.cur.nodes, s)
+		edge(b.cur, b.cfg.exit)
+		b.unreachableAfterJump()
+
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.BREAK:
+			if f := b.frameFor(labelName(s), false); f != nil {
+				edge(b.cur, f.breakTo)
+			} else {
+				edge(b.cur, b.cfg.exit)
+			}
+			b.unreachableAfterJump()
+		case token.CONTINUE:
+			if f := b.frameFor(labelName(s), true); f != nil {
+				edge(b.cur, f.continueTo)
+			} else {
+				edge(b.cur, b.cfg.exit)
+			}
+			b.unreachableAfterJump()
+		case token.GOTO:
+			edge(b.cur, b.cfg.exit) // conservative: goto escapes the model
+			b.unreachableAfterJump()
+		case token.FALLTHROUGH:
+			// Handled structurally by switchClauses.
+		}
+
+	case *ast.ExprStmt:
+		b.cur.nodes = append(b.cur.nodes, s)
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				edge(b.cur, b.cfg.exit)
+				b.unreachableAfterJump()
+			}
+		}
+
+	case nil:
+		// Empty else / missing clause.
+
+	default:
+		// Assign, IncDec, Decl, Send, Defer, Go, Empty: straight-line.
+		b.cur.nodes = append(b.cur.nodes, s)
+	}
+}
+
+func (b *cfgBuilder) takeLabel() string {
+	l := b.label
+	b.label = ""
+	return l
+}
+
+func labelName(s *ast.BranchStmt) string {
+	if s.Label == nil {
+		return ""
+	}
+	return s.Label.Name
+}
+
+// switchClauses wires the case bodies of a switch/type-switch: every case
+// is a successor of the dispatch block; fallthrough chains a case body to
+// the start of the next one; a missing default adds a dispatch→join edge.
+func (b *cfgBuilder) switchClauses(label string, clauses []ast.Stmt, assign ast.Stmt) {
+	head := b.cur
+	join := b.cfg.newBlock()
+	b.frames = append(b.frames, breakFrame{label: label, breakTo: join})
+	starts := make([]*block, len(clauses))
+	for i := range clauses {
+		starts[i] = b.cfg.newBlock()
+	}
+	hasDefault := false
+	for i, cl := range clauses {
+		cc := cl.(*ast.CaseClause)
+		if cc.List == nil {
+			hasDefault = true
+		}
+		edge(head, starts[i])
+		b.cur = starts[i]
+		if assign != nil {
+			b.cur.nodes = append(b.cur.nodes, assign)
+		}
+		for _, e := range cc.List {
+			b.cur.nodes = append(b.cur.nodes, e)
+		}
+		fallsThrough := false
+		for _, st := range cc.Body {
+			if br, ok := st.(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+				fallsThrough = true
+				continue
+			}
+			b.stmt(st)
+		}
+		if fallsThrough && i+1 < len(clauses) {
+			edge(b.cur, starts[i+1])
+			b.unreachableAfterJump()
+		}
+		edge(b.cur, join)
+	}
+	if !hasDefault {
+		edge(head, join)
+	}
+	b.frames = b.frames[:len(b.frames)-1]
+	b.cur = join
+}
+
+// ---- reaching definitions ----
+
+// A def is one definition event of a variable: an assignment, :=, var
+// decl, ++/--, range key/value binding, or a function/closure parameter
+// (a pseudo-def at entry).
+type def struct {
+	id  int
+	obj types.Object
+	at  ast.Node   // the defining statement (nil for parameters)
+	rhs []ast.Expr // expressions whose value flows into obj at this def
+}
+
+type nodeLoc struct {
+	blk *block
+	idx int
+}
+
+// flowInfo is the reaching-definitions solution for one function body.
+type flowInfo struct {
+	cfg    *cfg
+	info   *types.Info
+	defs   []*def
+	defsOf map[types.Object][]*def
+	in     map[*block]bitset
+	loc    map[ast.Node]nodeLoc // every node (and descendants) → block position
+}
+
+// analyzeFlow builds the CFG of body and solves reaching definitions.
+// params are the function's parameter objects (pseudo-defined at entry).
+// Nested func literals are opaque: their bodies belong to their own flow.
+func analyzeFlow(info *types.Info, body *ast.BlockStmt, params []types.Object) *flowInfo {
+	f := &flowInfo{
+		cfg:    buildCFG(body),
+		info:   info,
+		defsOf: map[types.Object][]*def{},
+		loc:    map[ast.Node]nodeLoc{},
+	}
+	for _, p := range params {
+		f.addDef(p, nil, nil)
+	}
+	for _, b := range f.cfg.blocks {
+		for i, n := range b.nodes {
+			l := nodeLoc{b, i}
+			ast.Inspect(n, func(m ast.Node) bool {
+				if m == nil {
+					return false
+				}
+				if _, ok := m.(*ast.FuncLit); ok && m != n {
+					f.loc[m] = l
+					return false
+				}
+				f.loc[m] = l
+				return true
+			})
+			f.collectDefs(n)
+		}
+	}
+	f.solve()
+	return f
+}
+
+func (f *flowInfo) addDef(obj types.Object, at ast.Node, rhs []ast.Expr) *def {
+	d := &def{id: len(f.defs), obj: obj, at: at, rhs: rhs}
+	f.defs = append(f.defs, d)
+	f.defsOf[obj] = append(f.defsOf[obj], d)
+	return d
+}
+
+func (f *flowInfo) identObj(e ast.Expr) types.Object {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if o := f.info.Defs[id]; o != nil {
+		return o
+	}
+	return f.info.Uses[id]
+}
+
+// collectDefs records the definition events inside one block node. Writes
+// through pointers/indices (p[i] = v) are not defs of p — they mutate the
+// referent, which is the aliasing layer's concern, not reaching-defs'.
+func (f *flowInfo) collectDefs(n ast.Node) {
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		if n.Tok == token.ASSIGN || n.Tok == token.DEFINE {
+			for i, lhs := range n.Lhs {
+				obj := f.identObj(lhs)
+				if obj == nil {
+					continue
+				}
+				var rhs []ast.Expr
+				if len(n.Rhs) == len(n.Lhs) {
+					rhs = []ast.Expr{n.Rhs[i]}
+				} else {
+					rhs = n.Rhs // tuple assignment: the whole call/comma flows in
+				}
+				f.addDef(obj, n, rhs)
+			}
+		} else if len(n.Lhs) == 1 { // op-assign: x op= v reads x and v
+			if obj := f.identObj(n.Lhs[0]); obj != nil {
+				f.addDef(obj, n, []ast.Expr{n.Lhs[0], n.Rhs[0]})
+			}
+		}
+	case *ast.IncDecStmt:
+		if obj := f.identObj(n.X); obj != nil {
+			f.addDef(obj, n, []ast.Expr{n.X})
+		}
+	case *ast.DeclStmt:
+		if gd, ok := n.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					obj := f.info.Defs[name]
+					if obj == nil {
+						continue
+					}
+					var rhs []ast.Expr
+					if i < len(vs.Values) {
+						rhs = []ast.Expr{vs.Values[i]}
+					} else if len(vs.Values) == 1 {
+						rhs = vs.Values
+					}
+					f.addDef(obj, n, rhs)
+				}
+			}
+		}
+	case *ast.RangeStmt:
+		for _, v := range []ast.Expr{n.Key, n.Value} {
+			if v == nil {
+				continue
+			}
+			if obj := f.identObj(v); obj != nil {
+				f.addDef(obj, n, []ast.Expr{n.X})
+			}
+		}
+	}
+}
+
+// solve runs the worklist fixpoint for reaching definitions.
+func (f *flowInfo) solve() {
+	nwords := (len(f.defs) + 63) / 64
+	gen := map[*block]bitset{}
+	kill := map[*block]bitset{}
+	out := map[*block]bitset{}
+	f.in = map[*block]bitset{}
+	for _, b := range f.cfg.blocks {
+		g, k := newBitset(nwords), newBitset(nwords)
+		for _, n := range b.nodes {
+			f.applyNode(n, g, k)
+		}
+		gen[b], kill[b] = g, k
+		f.in[b] = newBitset(nwords)
+		out[b] = newBitset(nwords)
+	}
+	// Parameters reach from entry.
+	for _, d := range f.defs {
+		if d.at == nil {
+			gen[f.cfg.entry].set(d.id)
+		}
+	}
+
+	preds := map[*block][]*block{}
+	for _, b := range f.cfg.blocks {
+		for _, s := range b.succs {
+			preds[s] = append(preds[s], b)
+		}
+	}
+	changed := true
+	for changed {
+		changed = false
+		for _, b := range f.cfg.blocks {
+			in := newBitset(nwords)
+			for _, p := range preds[b] {
+				in.union(out[p])
+			}
+			f.in[b] = in
+			o := in.clone()
+			o.diff(kill[b])
+			o.union(gen[b])
+			if !o.equal(out[b]) {
+				out[b] = o
+				changed = true
+			}
+		}
+	}
+}
+
+// applyNode folds one node's defs into running gen/kill sets.
+func (f *flowInfo) applyNode(n ast.Node, g, k bitset) {
+	for _, d := range f.defs {
+		if d.at == n {
+			for _, other := range f.defsOf[d.obj] {
+				g.clear(other.id)
+				k.set(other.id)
+			}
+			g.set(d.id)
+			k.clear(d.id)
+		}
+	}
+}
+
+// reachingDefs returns the definitions of obj that may reach the start of
+// the evaluation of node at (which must lie inside the analyzed body).
+func (f *flowInfo) reachingDefs(obj types.Object, at ast.Node) []*def {
+	l, ok := f.loc[at]
+	if !ok {
+		// Node outside the CFG (e.g. inside an opaque closure): be
+		// conservative and return every def of obj.
+		return f.defsOf[obj]
+	}
+	cur := f.in[l.blk].clone()
+	for i := 0; i < l.idx; i++ {
+		f.applyNode(l.blk.nodes[i], cur, newBitset(len(cur)))
+	}
+	var out []*def
+	for _, d := range f.defsOf[obj] {
+		if cur.has(d.id) {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// ---- derivation: "provably derived from seed objects" ----
+
+// A derivation answers, flow-sensitively, whether an expression's value is
+// derived from one of the seed objects (a parallel closure's worker/item
+// parameters). It is a greatest-fixpoint must-analysis over defs: a def is
+// derived iff some value flowing into it is a seed or a variable all of
+// whose reaching definitions are derived — so `i := base` (base seeded)
+// and the loop-carried `i += stride` both stay derived, while `j := 0`
+// and anything (re)assigned from captured state drop out.
+type derivation struct {
+	flow    *flowInfo
+	seeds   map[types.Object]bool
+	derived map[*def]bool
+}
+
+func (f *flowInfo) newDerivation(seeds map[types.Object]bool) *derivation {
+	d := &derivation{flow: f, seeds: seeds, derived: map[*def]bool{}}
+	for _, df := range f.defs {
+		// Optimistic start: everything with inflow (or a seeded param) is
+		// derived; the fixpoint strips the ones that cannot justify it.
+		d.derived[df] = len(df.rhs) > 0 || (df.at == nil && seeds[df.obj])
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, df := range f.defs {
+			if !d.derived[df] || len(df.rhs) == 0 {
+				continue
+			}
+			ok := false
+			for _, e := range df.rhs {
+				if d.exprDerivedAt(e, df.at) {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				d.derived[df] = false
+				changed = true
+			}
+		}
+	}
+	return d
+}
+
+// exprDerived reports whether e, evaluated at node at, mentions a value
+// derived from the seeds.
+func (d *derivation) exprDerived(e ast.Expr, at ast.Node) bool {
+	return d.exprDerivedAt(e, at)
+}
+
+func (d *derivation) exprDerivedAt(e ast.Expr, at ast.Node) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := d.flow.info.Uses[id]
+		if obj == nil {
+			obj = d.flow.info.Defs[id]
+		}
+		if obj == nil {
+			return true
+		}
+		if d.seeds[obj] {
+			found = true
+			return false
+		}
+		defs := d.flow.reachingDefs(obj, at)
+		if len(defs) == 0 {
+			return true
+		}
+		all := true
+		for _, df := range defs {
+			if !d.derived[df] {
+				all = false
+				break
+			}
+		}
+		if all {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// ---- bitset ----
+
+type bitset []uint64
+
+func newBitset(nwords int) bitset { return make(bitset, nwords) }
+
+func (b bitset) set(i int)   { b[i/64] |= 1 << (i % 64) }
+func (b bitset) clear(i int) { b[i/64] &^= 1 << (i % 64) }
+func (b bitset) has(i int) bool {
+	return b[i/64]&(1<<(i%64)) != 0
+}
+func (b bitset) union(o bitset) {
+	for i := range b {
+		b[i] |= o[i]
+	}
+}
+func (b bitset) diff(o bitset) {
+	for i := range b {
+		b[i] &^= o[i]
+	}
+}
+func (b bitset) clone() bitset {
+	c := make(bitset, len(b))
+	copy(c, b)
+	return c
+}
+func (b bitset) equal(o bitset) bool {
+	for i := range b {
+		if b[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// debugString renders the CFG for test failure messages.
+func (c *cfg) debugString(fset *token.FileSet) string {
+	s := ""
+	for _, b := range c.blocks {
+		s += fmt.Sprintf("b%d:", b.index)
+		for _, n := range b.nodes {
+			s += fmt.Sprintf(" [%T@%v]", n, fset.Position(n.Pos()).Line)
+		}
+		s += " ->"
+		for _, sc := range b.succs {
+			s += fmt.Sprintf(" b%d", sc.index)
+		}
+		s += "\n"
+	}
+	return s
+}

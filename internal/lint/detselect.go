@@ -1,0 +1,101 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+func isChan(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Chan)
+	return ok
+}
+
+// DetSelect guards the determinism contract against the two channel
+// shapes that make a program's behavior depend on runtime scheduling, in
+// every package except internal/parallel (the one sanctioned
+// concurrency layer, whose primitives are determinism-tested at worker
+// counts {1,2,8} under -race):
+//
+//  1. `select` with two or more communication cases. When several cases
+//     are ready, the runtime picks uniformly at random — a ready-race.
+//     Results, orderings, and even which goroutine proceeds become
+//     schedule-dependent. A single case (with or without `default`) is a
+//     guarded receive and stays deterministic, so it is allowed.
+//  2. Channel operations inside a closure handed to a parallel.* fan-out
+//     primitive. Workers sending into a shared channel arrive in
+//     schedule order (unordered fan-in); receives inside workers steal
+//     items nondeterministically. The pool's contract is index-addressed
+//     results (each item writes slot i), which needs no channels at all.
+//
+// The upcoming async step engine (ROADMAP: LayerPipe-style pipelining)
+// will multiply the number of channel paths; this analyzer exists so
+// every one of them is either inside internal/parallel or provably
+// single-ready.
+var DetSelect = &Analyzer{
+	Name: "detselect",
+	Doc: "bans select with multiple ready-race cases and channel fan-in/out " +
+		"inside parallel closures outside internal/parallel (schedule-dependent behavior)",
+	Run: runDetSelect,
+}
+
+func runDetSelect(pass *Pass) {
+	if pass.Pkg != nil && pass.Pkg.Path() == "mptwino/internal/parallel" {
+		return
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectStmt:
+				comm := 0
+				for _, cl := range n.Body.List {
+					if cc, ok := cl.(*ast.CommClause); ok && cc.Comm != nil {
+						comm++
+					}
+				}
+				if comm >= 2 {
+					pass.Reportf(n.Pos(), "select with %d communication cases: when several are ready the runtime picks at random (ready-race), so behavior depends on the schedule; receive in a fixed order or move the fan-in into internal/parallel", comm)
+				}
+			case *ast.CallExpr:
+				if !isPkgFunc(pass.Info, n, "mptwino/internal/parallel") {
+					return true
+				}
+				for _, arg := range n.Args {
+					if lit, ok := ast.Unparen(arg).(*ast.FuncLit); ok {
+						checkChannelOpsInClosure(pass, lit)
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkChannelOpsInClosure flags sends, receives, channel closes, and
+// channel ranges inside a parallel worker closure.
+func checkChannelOpsInClosure(pass *Pass, lit *ast.FuncLit) {
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if inner, ok := n.(*ast.FuncLit); ok && inner != lit {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			pass.Reportf(n.Pos(), "channel send inside a parallel closure: workers arrive in schedule order (unordered fan-in); write results to index-addressed slots instead")
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				pass.Reportf(n.Pos(), "channel receive inside a parallel closure: workers steal items in schedule order; index the work by the closure parameter instead")
+			}
+		case *ast.RangeStmt:
+			if t := pass.TypeOf(n.X); t != nil && isChan(t) {
+				pass.Reportf(n.Pos(), "range over a channel inside a parallel closure: arrival order depends on the schedule; index the work by the closure parameter instead")
+			}
+		case *ast.CallExpr:
+			if isBuiltin(pass.Info, n, "close") && len(n.Args) == 1 {
+				if t := pass.TypeOf(n.Args[0]); t != nil && isChan(t) {
+					pass.Reportf(n.Pos(), "close of a channel inside a parallel closure: which worker closes first depends on the schedule")
+				}
+			}
+		}
+		return true
+	})
+}

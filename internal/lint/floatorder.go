@@ -5,45 +5,32 @@ import (
 	"go/types"
 )
 
-// FloatOrder flags float accumulation whose iteration order is not fixed:
+// FloatOrder flags `acc += v` under a map range: float addition is not
+// associative — (a+b)+c != a+(b+c) in general — so a fold's bit pattern
+// is only reproducible if its order is, and map iteration order is not.
+// This is a shared bug class with mapiter (the two analyzers overlap
+// there on purpose, as the same line violates both the "maps are
+// unordered" and the "float folds need a fixed order" invariants;
+// suppress with `//nolint:mapiter,floatorder`).
 //
-//  1. `acc += v` inside a closure handed to a parallel.* fan-out, where
-//     acc is captured from the enclosing scope and not indexed by one of
-//     the closure's parameters. Work items race on acc — and even with a
-//     lock the arrival order (and therefore the rounded bits) would vary
-//     by schedule. The fix is the per-worker-partials idiom: each worker
-//     accumulates into its own slot (partials[worker] or out[item]) and
-//     the caller folds the slots in index order, which is exactly the
-//     contract parallel.ForEachWorker exists for.
-//  2. `acc += v` under a map range (shared bug class with mapiter — the
-//     two analyzers overlap there on purpose, as the same line violates
-//     both the "maps are unordered" and the "float folds need a fixed
-//     order" invariants; suppress with `//nolint:mapiter,floatorder`).
-//
-// Float addition is not associative: (a+b)+c != a+(b+c) in general, so a
-// fold's bit pattern is only reproducible if its order is.
+// The closure half this analyzer used to own — captured float
+// accumulators inside parallel.* closures — moved to the flow-sensitive
+// sharedwrite analyzer, which generalizes it to writes of every type and
+// decides "partitioned by the worker index" with the dataflow engine
+// instead of a syntactic mention check.
 var FloatOrder = &Analyzer{
 	Name: "floatorder",
-	Doc: "flags float accumulation whose order depends on a map or on " +
-		"parallel chunk boundaries without per-worker partial buffers",
+	Doc: "flags float accumulation whose order depends on map iteration " +
+		"order (the parallel-closure half lives in sharedwrite)",
 	Run: runFloatOrder,
 }
 
 func runFloatOrder(pass *Pass) {
 	for _, file := range pass.Files {
 		ast.Inspect(file, func(n ast.Node) bool {
-			switch n := n.(type) {
-			case *ast.RangeStmt:
-				if t := pass.TypeOf(n.X); t != nil && isMap(t) {
-					checkFloatOrderMapRange(pass, n)
-				}
-			case *ast.CallExpr:
-				if isPkgFunc(pass.Info, n, "mptwino/internal/parallel") {
-					for _, arg := range n.Args {
-						if lit, ok := ast.Unparen(arg).(*ast.FuncLit); ok {
-							checkFloatOrderClosure(pass, lit)
-						}
-					}
+			if rs, ok := n.(*ast.RangeStmt); ok {
+				if t := pass.TypeOf(rs.X); t != nil && isMap(t) {
+					checkFloatOrderMapRange(pass, rs)
 				}
 			}
 			return true
@@ -69,66 +56,6 @@ func checkFloatOrderMapRange(pass *Pass, rs *ast.RangeStmt) {
 	})
 }
 
-func checkFloatOrderClosure(pass *Pass, lit *ast.FuncLit) {
-	params := closureParams(pass.Info, lit)
-	ast.Inspect(lit.Body, func(n ast.Node) bool {
-		if inner, ok := n.(*ast.FuncLit); ok && inner != lit {
-			return false // nested closures get their own treatment if passed to parallel
-		}
-		as, ok := n.(*ast.AssignStmt)
-		if !ok {
-			return true
-		}
-		lhs, ok := floatAccumTarget(pass.Info, as)
-		if !ok {
-			return true
-		}
-		base, indexes := splitIndexChain(lhs)
-		obj := exprObject(pass.Info, base)
-		if obj == nil || !declaredOutside(obj, lit) {
-			return true // accumulator lives inside the closure: per-item scratch
-		}
-		for _, idx := range indexes {
-			if mentionsLocal(pass.Info, idx, lit, params) {
-				return true // indexed by the item/worker parameter (or a local derived value): a per-slot partial
-			}
-		}
-		pass.Reportf(as.Pos(), "captured float accumulator %q inside a parallel closure: accumulation order depends on the schedule; give each worker its own partial (index by the worker/item parameter) and fold the slots in index order", exprString(base))
-		return true
-	})
-}
-
-// closureParams returns the parameter objects of lit.
-func closureParams(info *types.Info, lit *ast.FuncLit) map[types.Object]bool {
-	out := map[types.Object]bool{}
-	if lit.Type.Params == nil {
-		return out
-	}
-	for _, field := range lit.Type.Params.List {
-		for _, name := range field.Names {
-			if obj := info.Defs[name]; obj != nil {
-				out[obj] = true
-			}
-		}
-	}
-	return out
-}
-
-// splitIndexChain peels index expressions off lhs, returning the base
-// expression and the index expressions: a[i][j] -> (a, [i, j]).
-func splitIndexChain(e ast.Expr) (ast.Expr, []ast.Expr) {
-	var indexes []ast.Expr
-	for {
-		switch x := ast.Unparen(e).(type) {
-		case *ast.IndexExpr:
-			indexes = append(indexes, x.Index)
-			e = x.X
-		default:
-			return e, indexes
-		}
-	}
-}
-
 // exprObject resolves the variable an expression ultimately names (through
 // selectors), or nil.
 func exprObject(info *types.Info, e ast.Expr) types.Object {
@@ -148,28 +75,4 @@ func exprObject(info *types.Info, e ast.Expr) types.Object {
 // source extent (i.e. the closure captures it).
 func declaredOutside(obj types.Object, lit *ast.FuncLit) bool {
 	return obj.Pos() < lit.Pos() || obj.Pos() > lit.End()
-}
-
-// mentionsLocal reports whether expr references one of the closure's
-// parameters or any variable declared inside the closure.
-func mentionsLocal(info *types.Info, expr ast.Expr, lit *ast.FuncLit, params map[types.Object]bool) bool {
-	found := false
-	ast.Inspect(expr, func(n ast.Node) bool {
-		id, ok := n.(*ast.Ident)
-		if !ok || found {
-			return !found
-		}
-		obj := info.Uses[id]
-		if obj == nil {
-			obj = info.Defs[id]
-		}
-		if obj == nil {
-			return true
-		}
-		if params[obj] || !declaredOutside(obj, lit) {
-			found = true
-		}
-		return !found
-	})
-	return found
 }

@@ -32,10 +32,13 @@ import (
 // An Analyzer describes one invariant check. This mirrors the
 // go/analysis.Analyzer shape so the suite can migrate to the upstream
 // framework wholesale if the x/tools dependency ever becomes acceptable.
+// Exactly one of Run (per-package, syntactic/flow-sensitive) and
+// RunProgram (whole-program, interprocedural over the call graph) is set.
 type Analyzer struct {
-	Name string // short lowercase identifier, used in //nolint lists
-	Doc  string // one-paragraph description: the invariant it encodes
-	Run  func(*Pass)
+	Name       string // short lowercase identifier, used in //nolint lists
+	Doc        string // one-paragraph description: the invariant it encodes
+	Run        func(*Pass)
+	RunProgram func(*ProgramPass)
 }
 
 // A Pass hands one package's syntax and types to one analyzer.
@@ -77,21 +80,64 @@ func (p *Pass) TypeOf(e ast.Expr) types.Type {
 	return p.Info.TypeOf(e)
 }
 
-// Run applies every analyzer to one loaded package and returns the raw
-// (unsuppressed) findings in source order. Suppression is a separate step
-// (ApplyNolint) so tests can exercise both layers.
+// A ProgramPass hands the whole program (targets plus module-local
+// dependencies, with call-graph summaries) to one interprocedural
+// analyzer.
+type ProgramPass struct {
+	Analyzer *Analyzer
+	Prog     *Program
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *ProgramPass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Prog.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Run applies the per-package analyzers to one loaded package and returns
+// the raw (unsuppressed) findings in source order. Suppression is a
+// separate step (ApplyNolint) so tests can exercise both layers.
 func Run(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 	var diags []Diagnostic
+	runPkg(pkg, analyzers, &diags)
+	sortDiagnostics(diags)
+	return diags
+}
+
+func runPkg(pkg *Package, analyzers []*Analyzer, diags *[]Diagnostic) {
 	for _, a := range analyzers {
+		if a.Run == nil {
+			continue
+		}
 		pass := &Pass{
 			Analyzer: a,
 			Fset:     pkg.Fset,
 			Files:    pkg.Files,
 			Pkg:      pkg.Types,
 			Info:     pkg.Info,
-			diags:    &diags,
+			diags:    diags,
 		}
 		a.Run(pass)
+	}
+}
+
+// Analyze runs the full analyzer stack over a loaded program: per-package
+// analyzers over every target package, interprocedural analyzers once
+// over the whole program. Findings are raw (pre-suppression) and sorted.
+func Analyze(prog *Program, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range prog.Targets() {
+		runPkg(pkg, analyzers, &diags)
+	}
+	for _, a := range analyzers {
+		if a.RunProgram != nil {
+			a.RunProgram(&ProgramPass{Analyzer: a, Prog: prog, diags: &diags})
+		}
 	}
 	sortDiagnostics(diags)
 	return diags
@@ -120,22 +166,42 @@ var nolintRe = regexp.MustCompile(`^//\s*nolint:([a-zA-Z0-9_,]+)(.*)$`)
 
 type nolintDirective struct {
 	pos       token.Position
-	names     map[string]bool // analyzer names, or "mptlint" for all
+	names     []string // analyzer names in written order, or "mptlint"/"all" for all
 	hasReason bool
+	hits      map[string]bool // per-name: suppressed at least one matching finding
+}
+
+func (d *nolintDirective) covers(analyzer string) (string, bool) {
+	for _, n := range d.names {
+		if n == "mptlint" || n == "all" || n == analyzer {
+			return n, true
+		}
+	}
+	return "", false
 }
 
 // ApplyNolint filters diags through the //nolint directives found in
-// files. A directive suppresses matching diagnostics on its own line and
-// on the following line (so it can trail the offending line or stand
-// alone above it). Directives missing the mandatory "-- reason" are
-// converted into diagnostics themselves (analyzer "nolint"), so a
-// suppression always carries a written justification into review.
-func ApplyNolint(fset *token.FileSet, files []*ast.File, diags []Diagnostic) []Diagnostic {
+// files. Suppression is scoped to the specific line AND analyzer: a
+// directive suppresses matching diagnostics on its own line and on the
+// following line (so it can trail the offending line or stand alone
+// above it), and only for the analyzers it names.
+//
+// Two directive pathologies become diagnostics themselves (analyzer
+// "nolint") instead of being honored:
+//
+//   - a directive missing the mandatory "-- reason", so a suppression
+//     always carries a written justification into review;
+//   - a stale directive: one of its named analyzers ran (per ran; nil
+//     means all names are checkable) but suppressed nothing on its lines.
+//     Stale suppressions are how laundered violations outlive their fix —
+//     or worse, how a never-valid suppression hides a later regression.
+func ApplyNolint(fset *token.FileSet, files []*ast.File, diags []Diagnostic, ran []string) []Diagnostic {
 	type key struct {
 		file string
 		line int
 	}
-	directives := map[key][]nolintDirective{}
+	directives := map[key][]*nolintDirective{}
+	var all []*nolintDirective
 	var out []Diagnostic
 
 	for _, f := range files {
@@ -146,10 +212,10 @@ func ApplyNolint(fset *token.FileSet, files []*ast.File, diags []Diagnostic) []D
 					continue
 				}
 				pos := fset.Position(c.Pos())
-				d := nolintDirective{pos: pos, names: map[string]bool{}}
+				d := &nolintDirective{pos: pos, hits: map[string]bool{}}
 				for _, n := range strings.Split(m[1], ",") {
 					if n = strings.TrimSpace(n); n != "" {
-						d.names[n] = true
+						d.names = append(d.names, n)
 					}
 				}
 				rest := strings.TrimSpace(m[2])
@@ -164,6 +230,7 @@ func ApplyNolint(fset *token.FileSet, files []*ast.File, diags []Diagnostic) []D
 					})
 					continue
 				}
+				all = append(all, d)
 				k := key{pos.Filename, pos.Line}
 				directives[k] = append(directives[k], d)
 				k.line++
@@ -175,13 +242,45 @@ func ApplyNolint(fset *token.FileSet, files []*ast.File, diags []Diagnostic) []D
 	for _, d := range diags {
 		suppressed := false
 		for _, dir := range directives[key{d.Pos.Filename, d.Pos.Line}] {
-			if dir.names["mptlint"] || dir.names["all"] || dir.names[d.Analyzer] {
+			if name, ok := dir.covers(d.Analyzer); ok {
+				dir.hits[name] = true
 				suppressed = true
 				break
 			}
 		}
 		if !suppressed {
 			out = append(out, d)
+		}
+	}
+
+	// Stale detection: only names whose analyzer actually ran are
+	// checkable (a -run=noalloc invocation says nothing about a
+	// //nolint:mapiter directive). The wildcard forms are checkable only
+	// when the full suite ran (ran == nil).
+	checkable := func(name string) bool {
+		if ran == nil {
+			return true
+		}
+		for _, r := range ran {
+			if r == name {
+				return true
+			}
+		}
+		return false
+	}
+	for _, dir := range all {
+		for _, name := range dir.names {
+			if dir.hits[name] || !checkable(name) {
+				continue
+			}
+			if (name == "mptlint" || name == "all") && ran != nil {
+				continue
+			}
+			out = append(out, Diagnostic{
+				Analyzer: "nolint",
+				Pos:      dir.pos,
+				Message:  fmt.Sprintf("stale suppression: nolint:%s matches no %s finding on this line; remove it (stale directives hide later regressions)", name, name),
+			})
 		}
 	}
 	sortDiagnostics(out)

@@ -38,18 +38,29 @@ type expectation struct {
 	hit  bool
 }
 
-// Run loads the package at dir, applies analyzers (plus //nolint
-// filtering), and compares the findings against the package's // want
+// Run loads the package at dir (plus any subdirectory packages, which
+// become module-local dependencies of the fixture — the cross-package
+// allocflow cases live there), applies analyzers (plus //nolint
+// filtering with stale-suppression detection scoped to the analyzers
+// that ran), and compares the findings against the package's // want
 // annotations.
 func Run(t *testing.T, dir string, analyzers ...*lint.Analyzer) {
 	t.Helper()
-	pkg, err := lint.LoadDir(dir)
+	prog, err := lint.LoadDir(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
-	diags := lint.ApplyNolint(pkg.Fset, pkg.Files, lint.Run(pkg, analyzers))
+	ran := make([]string, 0, len(analyzers))
+	for _, a := range analyzers {
+		ran = append(ran, a.Name)
+	}
+	var files []*ast.File
+	for _, pkg := range prog.Targets() {
+		files = append(files, pkg.Files...)
+	}
+	diags := lint.ApplyNolint(prog.Fset, files, lint.Analyze(prog, analyzers), ran)
 
-	expects, err := parseWants(pkg.Fset, pkg.Files)
+	expects, err := parseWants(prog.Fset, files)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -38,3 +38,26 @@ func TestNoTimeTelemetry(t *testing.T) {
 func TestFloatOrder(t *testing.T) {
 	linttest.Run(t, "testdata/src/floatorder", lint.FloatOrder)
 }
+
+// The flow-sensitive tier: sharedwrite decides "partitioned by the
+// worker/item index" with the dataflow engine (cfg.go), so the suite pins
+// loop-carried offsets, reassignment, and the alias classification.
+func TestSharedWrite(t *testing.T) {
+	linttest.Run(t, "testdata/src/sharedwrite", lint.SharedWrite)
+}
+
+func TestDetSelect(t *testing.T) {
+	linttest.Run(t, "testdata/src/detselect", lint.DetSelect)
+}
+
+// The allocflow fixture includes a subdirectory package (helpers/) so the
+// suite pins cross-package call-graph traversal.
+func TestAllocFlow(t *testing.T) {
+	linttest.Run(t, "testdata/src/allocflow", lint.AllocFlow)
+}
+
+// The suppression layer is tested as its own suite: mandatory reasons,
+// line+analyzer scoping, per-name stale detection.
+func TestNolintStale(t *testing.T) {
+	linttest.Run(t, "testdata/src/nolintstale", lint.MapIter, lint.FloatOrder)
+}

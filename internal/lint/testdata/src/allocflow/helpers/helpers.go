@@ -1,0 +1,28 @@
+// Package helpers is the cross-package half of the allocflow golden
+// fixture: callees that live one package away from the noalloc root, so
+// the suite pins that the call graph sees through package boundaries.
+package helpers
+
+// Scale allocates its result — calling it from a noalloc root is a
+// transitive violation only allocflow can see.
+func Scale(xs []float64, f float64) []float64 {
+	out := make([]float64, len(xs))
+	for i, v := range xs {
+		out[i] = v * f
+	}
+	return out
+}
+
+// ScaleInPlace is allocation-free: fine to call from a root.
+func ScaleInPlace(xs []float64, f float64) {
+	for i := range xs {
+		xs[i] *= f
+	}
+}
+
+// Deep allocates two hops down from the exported entry point.
+func Deep(xs []float64) []float64 { return deeper(xs) }
+
+func deeper(xs []float64) []float64 {
+	return append([]float64(nil), xs...)
+}

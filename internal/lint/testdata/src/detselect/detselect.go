@@ -1,0 +1,93 @@
+// Package detselect is the golden testdata for the detselect analyzer:
+// select statements with ready-races and channel fan-in/out inside
+// parallel closures.
+package detselect
+
+import "mptwino/internal/parallel"
+
+// Two ready cases: the runtime picks uniformly at random. The report
+// lands on the select keyword.
+func twoCaseSelect(a, b chan int) int {
+	select { // want `select with 2 communication cases`
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+// A single comm case with a default is a guarded (non-blocking) receive:
+// deterministic given the channel state, allowed.
+func guardedReceive(a chan int) (int, bool) {
+	select {
+	case v := <-a:
+		return v, true
+	default:
+		return 0, false
+	}
+}
+
+// A bare single-case select is just a blocking receive.
+func blockingReceive(a chan int) int {
+	select {
+	case v := <-a:
+		return v
+	}
+}
+
+// Channel operations inside parallel closures: unordered fan-in/out.
+func channelFanIn(xs []int, results chan int) {
+	parallel.ForEach(0, len(xs), func(i int) {
+		results <- xs[i] * 2 // want `channel send inside a parallel closure`
+	})
+}
+
+func channelSteal(work chan int, out []int) {
+	parallel.ForEach(0, len(out), func(i int) {
+		out[i] = <-work // want `channel receive inside a parallel closure`
+	})
+}
+
+func channelRange(work chan int, sink func(int)) {
+	parallel.ForEach(0, 4, func(i int) {
+		for v := range work { // want `range over a channel inside a parallel closure`
+			sink(v)
+		}
+	})
+}
+
+func channelClose(done chan struct{}, xs []int) {
+	parallel.ForEach(0, len(xs), func(i int) {
+		if xs[i] == 0 {
+			close(done) // want `close of a channel inside a parallel closure`
+		}
+	})
+}
+
+// Ranging over a slice inside a parallel closure is fine — only channel
+// ranges are schedule-dependent.
+func sliceRange(rows [][]int, out []int) {
+	parallel.ForEach(0, len(rows), func(i int) {
+		s := 0
+		for _, v := range rows[i] {
+			s += v
+		}
+		out[i] = s
+	})
+}
+
+// Channel use OUTSIDE a parallel closure is the caller's business (a
+// plain pipeline stage); only the multi-ready select is banned there.
+func plainSend(c chan int, v int) {
+	c <- v
+}
+
+func suppressedSelect(a, b chan int) int {
+	//nolint:detselect -- testdata: both channels are closed before this runs; both arms yield the zero value
+	select {
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}

@@ -1,81 +1,23 @@
 // Package floatorder is the golden testdata for the floatorder analyzer:
-// float folds whose accumulation order is schedule- or map-dependent.
+// float folds over map iteration order. The parallel-closure half of the
+// invariant moved to the sharedwrite analyzer (see testdata/src/sharedwrite).
 package floatorder
 
-import "mptwino/internal/parallel"
-
-// Captured scalar accumulator inside a parallel closure: the classic
-// cross-worker race whose sum bits depend on arrival order.
-func sharedScalar(xs []float64) float64 {
-	var sum float64
-	parallel.ForEach(0, len(xs), func(i int) {
-		sum += xs[i] // want `captured float accumulator "sum" inside a parallel closure`
-	})
-	return sum
-}
-
-// Per-item slots indexed by the closure parameter are the sanctioned
-// idiom: each item writes its own slot, the caller folds in index order.
-func perItemSlots(xs []float64) float64 {
-	out := make([]float64, len(xs))
-	parallel.ForEach(0, len(xs), func(i int) {
-		out[i] = xs[i] * 2
-	})
-	var sum float64
-	for _, v := range out {
-		sum += v
-	}
-	return sum
-}
-
-// Per-worker partials via ForEachWorker: also the sanctioned idiom, even
-// though the accumulator is captured — it is indexed by the worker param.
-func perWorkerPartials(xs []float64, workers int) float64 {
-	partials := make([]float64, workers)
-	parallel.ForEachWorker(workers, len(xs), func(worker, i int) {
-		partials[worker] += xs[i]
-	})
-	var sum float64
-	for _, v := range partials {
-		sum += v
-	}
-	return sum
-}
-
-// A captured accumulator indexed by a constant is still shared state.
-func constantSlot(xs []float64) float64 {
-	partials := make([]float64, 1)
-	parallel.ForEach(0, len(xs), func(i int) {
-		partials[0] += xs[i] // want `captured float accumulator "partials" inside a parallel closure`
-	})
-	return partials[0]
-}
-
-// Locals declared inside the closure are per-item scratch: not flagged.
-func localScratch(xs, ys []float64) {
-	parallel.ForEach(0, len(xs), func(i int) {
-		var acc float64
-		acc += xs[i]
-		acc += 1
-		ys[i] = acc
-	})
-}
-
-// Integer accumulation is order-independent; floatorder leaves it to the
-// race detector.
-func sharedIntCounter(xs []int) int {
-	var n int
-	parallel.ForEach(0, len(xs), func(i int) {
-		n += xs[i] // racy, but not a float-order issue
-	})
-	return n
-}
-
-// The map half of the invariant: a float fold over map iteration order.
+// A float fold over map iteration order: the accumulated bits depend on
+// which key comes first, and map order is deliberately randomized.
 func mapFold(m map[string]float64) float64 {
 	var sum float64
 	for _, v := range m {
 		sum += v // want `float fold over map iteration order`
+	}
+	return sum
+}
+
+// The x = x + v spelling is the same fold.
+func mapFoldExplicit(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum = sum + v // want `float fold over map iteration order`
 	}
 	return sum
 }
@@ -87,10 +29,20 @@ func mapPerKey(m map[int]float64, out []float64) {
 	}
 }
 
-func suppressedShared(xs []float64) float64 {
+// Integer accumulation commutes exactly; not a float-order issue.
+func mapIntFold(m map[string]int) int {
+	var n int
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+func suppressedFold(m map[string]float64) float64 {
 	var sum float64
-	parallel.ForEach(1, len(xs), func(i int) {
-		sum += xs[i] //nolint:floatorder -- testdata: single-worker call, order is the item order by construction
-	})
+	for _, v := range m {
+		//nolint:floatorder,mapiter -- testdata: result is only compared against a tolerance, not bit-pinned
+		sum += v
+	}
 	return sum
 }

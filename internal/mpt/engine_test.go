@@ -20,7 +20,7 @@ func refLayer(t *testing.T, e *Engine) *winograd.Layer {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return &winograd.Layer{Tiling: tl, W: e.Weights().Clone()}
+	return winograd.NewLayerFromParts(tl, e.Weights().Clone())
 }
 
 func TestNewEngineValidation(t *testing.T) {

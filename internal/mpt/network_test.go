@@ -88,7 +88,7 @@ func TestNetworkTrainingMatchesSingleWorker(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		ref.layers = append(ref.layers, &winograd.Layer{Tiling: tl, W: net.Engines[i].Weights().Clone()})
+		ref.layers = append(ref.layers, winograd.NewLayerFromParts(tl, net.Engines[i].Weights().Clone()))
 	}
 
 	rng := tensor.NewRNG(66)

@@ -57,10 +57,14 @@ type Layer struct {
 	// mirrors the NDP design where X tiles stay resident in local DRAM.
 	lastX *Domain
 
-	// Steady-state scratch, built lazily and reused across iterations so
-	// fprop/bprop/updateGrad run without allocation after the first step:
-	// per-worker tile/packing buffers plus the four intermediate Domains
-	// of the training loop (resized if the batch size changes).
+	// Steady-state scratch, reused across iterations so
+	// fprop/bprop/updateGrad run without allocation after the first step.
+	// The per-worker tile/packing buffers (sc) are built eagerly at
+	// construction — the worker count is known then, and building them in
+	// the hot path would put an allocation on every noalloc entry point's
+	// first-call path (allocflow flags exactly that). The intermediate
+	// Domains of the training loop stay lazy: their shapes depend on the
+	// batch size of the first call (resized if it changes).
 	sc  *Scratch
 	xd  *Domain // input transform destination (aliased by lastX)
 	yd  *Domain // forward Winograd-domain output
@@ -70,7 +74,7 @@ type Layer struct {
 
 func (l *Layer) scratch() *Scratch {
 	if l.sc == nil {
-		l.sc = NewScratch()
+		panic("winograd: Layer built without NewLayer/NewLayerWithWeights")
 	}
 	return l.sc
 }
@@ -94,7 +98,7 @@ func NewLayer(tr *Transform, p conv.Params, rng *tensor.RNG) (*Layer, error) {
 	}
 	ws := tensor.New(p.Out, p.In, p.K, p.K)
 	rng.FillHe(ws, p.In*p.K*p.K)
-	return &Layer{Tiling: tl, W: TransformWeights(tr, ws)}, nil
+	return &Layer{Tiling: tl, W: TransformWeights(tr, ws), sc: NewScratch()}, nil
 }
 
 // NewLayerWithWeights builds a Winograd layer whose W is the transform of
@@ -104,7 +108,16 @@ func NewLayerWithWeights(tr *Transform, p conv.Params, w *tensor.Tensor) (*Layer
 	if err != nil {
 		return nil, err
 	}
-	return &Layer{Tiling: tl, W: TransformWeights(tr, w)}, nil
+	return &Layer{Tiling: tl, W: TransformWeights(tr, w), sc: NewScratch()}, nil
+}
+
+// NewLayerFromParts assembles a Layer around an existing Tiling and
+// Winograd-domain weights (engine-mirror references, cloned-weight
+// cross-checks). Like the other constructors it builds the per-worker
+// Scratch eagerly; Layers must not be assembled with a bare composite
+// literal, which would leave the noalloc hot paths without scratch.
+func NewLayerFromParts(tl *Tiling, w *Weights) *Layer {
+	return &Layer{Tiling: tl, W: w, sc: NewScratch()}
 }
 
 // Fprop runs the forward pass and caches the Winograd-domain input for the
