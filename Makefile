@@ -6,7 +6,7 @@
 GO ?= go
 STATICCHECK_VERSION ?= 2025.1
 
-.PHONY: verify fmt-check build vet lint lint-ci test race fuzz bench bench-baseline benchdiff profile trace scenarios scenarios-smoke autoplan
+.PHONY: verify fmt-check build vet lint lint-ci test race fuzz bench bench-baseline benchdiff profile trace trace-report scenarios scenarios-smoke autoplan
 
 verify: fmt-check build vet lint scenarios-smoke test race
 
@@ -68,7 +68,22 @@ benchdiff:
 # https://ui.perfetto.dev), and dump the counter registry. Timestamps are
 # simulated cycles, so the output is byte-identical at any -parallel value.
 trace:
-	$(GO) run ./cmd/mptsim -net vgg -config all -faults 17 -trace trace.json -metrics
+	$(GO) run ./cmd/mptsim -net vgg -config all -faults 17 -trace trace.json -metrics -force
+
+# Trace-analysis walkthrough (DESIGN.md §15): execute the vgg16 autoplan
+# under the tracer, then analyze it with mpttrace — critical path, overlap
+# attribution, achieved-vs-bound ratios — as text on stdout plus a
+# self-contained HTML timeline in trace_report.html. The text bytes match
+# internal/traceview/testdata/report_vgg16_autoplan.txt (refresh with
+# `go test ./internal/traceview -run Golden -update`); CI's trace-gate job
+# diffs exactly that.
+trace-report:
+	$(GO) run ./cmd/mptsim -net vgg -autoplan -autoplan-out /dev/null \
+		-trace trace_vgg16.json -metrics-json metrics_vgg16.json -force
+	$(GO) run ./cmd/mpttrace report -metrics metrics_vgg16.json trace_vgg16.json
+	$(GO) run ./cmd/mpttrace report -metrics metrics_vgg16.json -format html \
+		-o trace_report.html trace_vgg16.json
+	@echo "wrote trace_vgg16.json metrics_vgg16.json trace_report.html"
 
 # Deterministic degraded-fleet scenario matrix (DESIGN.md §11): the pinned
 # {fleet class × network} grid under w_mp++, as a TSV that is byte-identical

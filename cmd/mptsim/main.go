@@ -36,6 +36,7 @@ import (
 	"mptwino/internal/scenario"
 	"mptwino/internal/sim"
 	"mptwino/internal/telemetry"
+	"mptwino/internal/traceview"
 )
 
 func main() {
@@ -54,8 +55,10 @@ func main() {
 	autoplanOut := flag.String("autoplan-out", "", "with -autoplan: write the plan dump to this file instead of stdout")
 	allowWideTiles := flag.Bool("allow-wide-tiles", false, "with -autoplan: admit the numerically unsafe F(6x6,3x3) transform into the planner's tile-size axis (inference-grade only)")
 	traceFile := flag.String("trace", "", "write a Chrome trace_event JSON (chrome://tracing, Perfetto) with simulated-cycle timestamps to this file")
+	traceReport := flag.String("trace-report", "", "write the mpttrace text attribution report (critical path, overlap, idle) for this run to this file")
 	metrics := flag.Bool("metrics", false, "dump the telemetry counters as aligned text on exit")
 	metricsJSON := flag.String("metrics-json", "", "write the telemetry counters as JSON to this file ('-' for stdout)")
+	force := flag.Bool("force", false, "overwrite existing -trace/-metrics-json/-trace-report output files instead of refusing")
 	par := flag.Int("parallel", 0, "host goroutines for the sweep fan-out (0 = GOMAXPROCS); results and telemetry are byte-identical for every value")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -90,20 +93,26 @@ func main() {
 	s.Workers = *workers
 	s.Parallel = *par
 
-	// Telemetry: any of -trace/-metrics/-metrics-json turns the registry
-	// on; -trace additionally records the cycle-domain event stream.
+	// Telemetry: any of -trace/-trace-report/-metrics/-metrics-json turns
+	// the registry on; -trace and -trace-report additionally record the
+	// cycle-domain event stream. Telemetry files are never silently
+	// overwritten — an existing regular file at any of these paths aborts
+	// the run unless -force is set.
+	for _, p := range []string{*traceFile, *traceReport, *metricsJSON} {
+		checkOverwrite(p, *force)
+	}
 	var reg *telemetry.Registry
 	var tracer *telemetry.Tracer
-	if *traceFile != "" || *metrics || *metricsJSON != "" {
+	if *traceFile != "" || *traceReport != "" || *metrics || *metricsJSON != "" {
 		reg = telemetry.NewRegistry()
 		parallel.Attach(reg)
 	}
-	if *traceFile != "" {
+	if *traceFile != "" || *traceReport != "" {
 		tracer = telemetry.NewTracer()
 	}
 	s.Metrics = reg
 	s.Trace = tracer
-	defer writeTelemetry(reg, tracer, *traceFile, *metrics, *metricsJSON)
+	defer writeTelemetry(reg, tracer, *traceFile, *traceReport, *metrics, *metricsJSON)
 
 	var cfgs []sim.SystemConfig
 	if *cfgName == "all" {
@@ -302,12 +311,24 @@ func findNetwork(name string) (model.Network, error) {
 	}
 }
 
+// checkOverwrite aborts when path names an existing regular file and
+// -force is not set; devices like /dev/null and fresh paths pass.
+func checkOverwrite(path string, force bool) {
+	if path == "" || path == "-" || force {
+		return
+	}
+	if fi, err := os.Stat(path); err == nil && fi.Mode().IsRegular() {
+		fail(fmt.Errorf("%s exists; pass -force to overwrite", path))
+	}
+}
+
 // writeTelemetry flushes the run's telemetry: the Chrome trace_event JSON
-// to tracePath, the counter registry as aligned text to stdout (-metrics)
-// and/or JSON to jsonPath ('-' = stdout). All output is canonical bytes —
-// sorted counter names, stable-sorted events — so runs at different
-// -parallel settings diff clean.
-func writeTelemetry(reg *telemetry.Registry, tracer *telemetry.Tracer, tracePath string, text bool, jsonPath string) {
+// to tracePath, the mpttrace attribution report to reportPath, the counter
+// registry as aligned text to stdout (-metrics) and/or JSON to jsonPath
+// ('-' = stdout). All output is canonical bytes — sorted counter names,
+// stable-sorted events — so runs at different -parallel settings diff
+// clean.
+func writeTelemetry(reg *telemetry.Registry, tracer *telemetry.Tracer, tracePath, reportPath string, text bool, jsonPath string) {
 	if tracer != nil && tracePath != "" {
 		f, err := os.Create(tracePath)
 		if err != nil {
@@ -320,6 +341,24 @@ func writeTelemetry(reg *telemetry.Registry, tracer *telemetry.Tracer, tracePath
 			fail(err)
 		}
 		fmt.Fprintf(os.Stderr, "mptsim: wrote %d trace events to %s\n", tracer.Len(), tracePath)
+	}
+	if tracer != nil && reportPath != "" {
+		run := traceview.FromTrace(tracer.Export())
+		if reg != nil {
+			run.Metrics = traceview.FromSnapshot(reg.Snapshot())
+		}
+		rep := traceview.Analyze(run, traceview.Options{})
+		f, err := os.Create(reportPath)
+		if err != nil {
+			fail(err)
+		}
+		if err := rep.WriteText(f); err != nil {
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "mptsim: wrote attribution report to %s\n", reportPath)
 	}
 	if reg == nil {
 		return

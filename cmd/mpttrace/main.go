@@ -1,0 +1,200 @@
+// Command mpttrace analyzes the deterministic cycle-domain traces the
+// simulator emits (mptsim -trace) together with their metrics snapshots
+// (mptsim -metrics-json): it reconstructs per-lane timelines and the
+// critical path, attributes time to compute / communication / idle, joins
+// the planner's achieved-vs-bound traffic gauges, and gates model-time
+// regressions exactly.
+//
+// Usage:
+//
+//	mpttrace report [-metrics m.json] [-format text|json|html] [-top 5] [-o out] trace.json
+//	mpttrace diff [-metrics-a a.json] [-metrics-b b.json] [-max-delta-cycles N] [-max-delta-frac F] [-exact] a.json b.json
+//	mpttrace check [-metrics m.json] [-min-overlap F] [-max-idle F] [-max-bound-ratio F] [-max-critical-cycles N] trace.json
+//
+// Every input is byte-stable for a fixed simulation (simulated cycles,
+// never wall clock), so reports are bit-identical across runs and host
+// worker counts, `diff` can gate with zero tolerance (exit 1 on any
+// regression; -exact fails on any difference at all), and `check` turns
+// overlap/idle/bound claims into CI assertions.
+//
+// Exit codes: 0 success, 1 regression or failed assertion, 2 usage or I/O
+// error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"mptwino/internal/traceview"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "report":
+		cmdReport(os.Args[2:])
+	case "diff":
+		cmdDiff(os.Args[2:])
+	case "check":
+		cmdCheck(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "mpttrace: unknown subcommand %q (report, diff, check)\n", os.Args[1])
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  mpttrace report [-metrics m.json] [-format text|json|html] [-top 5] [-o out] trace.json
+  mpttrace diff [-metrics-a a.json] [-metrics-b b.json] [-max-delta-cycles N] [-max-delta-frac F] [-exact] a.json b.json
+  mpttrace check [-metrics m.json] [-min-overlap F] [-max-idle F] [-max-bound-ratio F] [-max-critical-cycles N] trace.json`)
+	os.Exit(2)
+}
+
+func cmdReport(args []string) {
+	fs := flag.NewFlagSet("report", flag.ExitOnError)
+	metricsPath := fs.String("metrics", "", "metrics snapshot JSON (mptsim -metrics-json) to join planner gauges from")
+	format := fs.String("format", "text", "output format: text, json, or html (self-contained timeline + flame view)")
+	top := fs.Int("top", 5, "critical-path contributors to list per lane")
+	out := fs.String("o", "-", "output file ('-' = stdout)")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "mpttrace report: exactly one trace file required")
+		os.Exit(2)
+	}
+
+	run := loadRun(fs.Arg(0), *metricsPath)
+	rep := traceview.Analyze(run, traceview.Options{TopK: *top})
+
+	w, closeFn := openOut(*out)
+	defer closeFn()
+	var err error
+	switch *format {
+	case "text":
+		err = rep.WriteText(w)
+	case "json":
+		err = rep.WriteJSON(w)
+	case "html":
+		err = traceview.WriteHTML(w, run, rep)
+	default:
+		fmt.Fprintf(os.Stderr, "mpttrace report: unknown -format %q (text, json, html)\n", *format)
+		os.Exit(2)
+	}
+	if err != nil {
+		fail(err)
+	}
+}
+
+func cmdDiff(args []string) {
+	fs := flag.NewFlagSet("diff", flag.ExitOnError)
+	metricsA := fs.String("metrics-a", "", "metrics snapshot JSON for run A")
+	metricsB := fs.String("metrics-b", "", "metrics snapshot JSON for run B")
+	maxCycles := fs.Int64("max-delta-cycles", 0, "allowed absolute model-time increase per metric")
+	maxFrac := fs.Float64("max-delta-frac", 0, "allowed relative increase per metric (0.02 = +2%)")
+	exact := fs.Bool("exact", false, "fail on any difference, improvements included (golden-gate mode)")
+	out := fs.String("o", "-", "output file ('-' = stdout)")
+	fs.Parse(args)
+	if fs.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "mpttrace diff: exactly two trace files required (a.json b.json)")
+		os.Exit(2)
+	}
+
+	repA := traceview.Analyze(loadRun(fs.Arg(0), *metricsA), traceview.Options{})
+	repB := traceview.Analyze(loadRun(fs.Arg(1), *metricsB), traceview.Options{})
+	d := traceview.Diff(repA, repB, traceview.DiffOptions{
+		MaxDeltaCycles: *maxCycles, MaxDeltaFrac: *maxFrac, Exact: *exact,
+	})
+
+	w, closeFn := openOut(*out)
+	if err := d.WriteText(w); err != nil {
+		closeFn()
+		fail(err)
+	}
+	closeFn()
+	if d.Regressions > 0 {
+		fmt.Fprintf(os.Stderr, "mpttrace diff: %d regression(s)\n", d.Regressions)
+		os.Exit(1)
+	}
+}
+
+func cmdCheck(args []string) {
+	fs := flag.NewFlagSet("check", flag.ExitOnError)
+	metricsPath := fs.String("metrics", "", "metrics snapshot JSON to join planner gauges from")
+	a := traceview.Unset()
+	fs.Float64Var(&a.MinOverlap, "min-overlap", a.MinOverlap, "require comm-hidden-by-compute overlap ≥ this fraction in every phase lane (-1 = off)")
+	fs.Float64Var(&a.MaxIdle, "max-idle", a.MaxIdle, "cap the idle share of every phase lane (-1 = off)")
+	fs.Float64Var(&a.MaxBoundRatio, "max-bound-ratio", a.MaxBoundRatio, "cap every planned layer's achieved/bound byte ratio (-1 = off)")
+	fs.Int64Var(&a.MaxCriticalCycles, "max-critical-cycles", a.MaxCriticalCycles, "cap every phase lane's critical-path cycles (-1 = off)")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "mpttrace check: exactly one trace file required")
+		os.Exit(2)
+	}
+	if !a.Any() {
+		fmt.Fprintln(os.Stderr, "mpttrace check: no assertions enabled (see -h)")
+		os.Exit(2)
+	}
+
+	rep := traceview.Analyze(loadRun(fs.Arg(0), *metricsPath), traceview.Options{})
+	fails := traceview.Check(rep, a)
+	for _, f := range fails {
+		fmt.Fprintln(os.Stderr, "FAIL:", f)
+	}
+	if len(fails) > 0 {
+		os.Exit(1)
+	}
+	fmt.Println("mpttrace check: all assertions hold")
+}
+
+// loadRun parses the trace and (optionally) its metrics snapshot.
+func loadRun(tracePath, metricsPath string) *traceview.Run {
+	f, err := os.Open(tracePath)
+	if err != nil {
+		fail(err)
+	}
+	run, err := traceview.ParseTrace(f)
+	f.Close()
+	if err != nil {
+		fail(err)
+	}
+	if metricsPath != "" {
+		mf, err := os.Open(metricsPath)
+		if err != nil {
+			fail(err)
+		}
+		m, err := traceview.LoadMetrics(mf)
+		mf.Close()
+		if err != nil {
+			fail(err)
+		}
+		run.Metrics = m
+	}
+	return run
+}
+
+// openOut resolves '-' to stdout, anything else to a created file.
+func openOut(path string) (io.Writer, func()) {
+	if path == "" || path == "-" {
+		return os.Stdout, func() {}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fail(err)
+	}
+	return f, func() {
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "mpttrace:", err)
+	os.Exit(2)
+}

@@ -103,6 +103,12 @@ func (n *Net) recordStep() {
 	t.skipped.Add(d.SkippedTiles)
 	t.total.Add(d.TotalTiles)
 	if t.tracer.Enabled() {
+		// One span per training step on the logical clock, so the MPT lane
+		// has a chainable timeline for traceview's critical path (the
+		// functional engine has no cycle model — a step is one unit).
+		t.tracer.Span(telemetry.PIDMPT, 0, "step", "mpt.step", t.step-1, 1, map[string]any{
+			"tv": "phase", "step": t.step,
+		})
 		t.tracer.CounterSample(telemetry.PIDMPT, 0, "traffic", t.step, map[string]any{
 			"scatter_bytes": d.ScatterBytes, "scatter_raw_bytes": d.ScatterRawBytes,
 			"gather_bytes":  d.GatherBytes,
@@ -120,6 +126,10 @@ func (n *Net) recordStep() {
 // the current logical step.
 func (n *Net) event(name string, args map[string]any) {
 	if n.tel.tracer.Enabled() {
+		if args == nil {
+			args = map[string]any{}
+		}
+		args["tv"] = "overhead"
 		n.tel.tracer.Instant(telemetry.PIDMPT, 0, name, "mpt.recovery", n.tel.step, args)
 	}
 }

@@ -67,7 +67,7 @@ func (n *Network) traceMessages() {
 	}
 	for _, m := range n.messages {
 		name := fmt.Sprintf("msg %d->%d", m.Src, m.Dst)
-		args := map[string]any{"id": m.ID, "bytes": m.Bytes, "retries": m.Retries}
+		args := map[string]any{"id": m.ID, "bytes": m.Bytes, "retries": m.Retries, "tv": "comm.noc"}
 		end := m.DeliveredAt
 		if m.lost {
 			name = "LOST " + name

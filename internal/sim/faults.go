@@ -98,7 +98,7 @@ func (s System) SimulateNetworkWithFailure(net model.Network, c SystemConfig, fa
 		s.Trace.NameThread(telemetry.PIDSim, recoveryTID, "recovery")
 		s.Trace.Span(telemetry.PIDSim, recoveryTID, "reconfigure", "sim.fault",
 			start, int64(res.ReconfigSec*s.NDP.ClockHz), map[string]any{
-				"survivors": survivors, "failed": len(uniq),
+				"survivors": survivors, "failed": len(uniq), "tv": "overhead",
 			})
 	}
 	s.Metrics.Counter("sim.reconfigs").Inc()

@@ -145,6 +145,49 @@ func (h *Histogram) Buckets() ([]float64, []int64) {
 	return h.bounds, counts
 }
 
+// Percentile returns the q-quantile (q in (0, 1]) as a bucket upper bound:
+// the smallest bound whose cumulative count reaches ceil(q·total).
+// Observations that landed in the +Inf overflow bucket clamp to the last
+// finite bound — the histogram cannot resolve beyond it. Returns 0 on an
+// empty histogram (nil-safe). Bucket counts are commutative atomic folds,
+// so the result is schedule-independent.
+func (h *Histogram) Percentile(q float64) float64 {
+	if h == nil || len(h.bounds) == 0 {
+		return 0
+	}
+	bounds, counts := h.Buckets()
+	return percentileOf(bounds, counts, q)
+}
+
+// percentileOf is the pure-form quantile used by Percentile and the
+// registry dumps (which already hold a snapshot of the counts).
+func percentileOf(bounds []float64, counts []int64, q float64) float64 {
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 || len(bounds) == 0 {
+		return 0
+	}
+	// rank = ceil(q·total) without float rounding hazards at exact
+	// multiples: the smallest integer r with r ≥ q·total.
+	rank := int64(q * float64(total))
+	if float64(rank) < q*float64(total) {
+		rank++
+	}
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i, b := range bounds {
+		cum += counts[i]
+		if cum >= rank {
+			return b
+		}
+	}
+	return bounds[len(bounds)-1] // overflow bucket: clamp to last finite bound
+}
+
 // A Registry names and owns a set of instruments. Registration locks;
 // updates through the returned handles never do. The dump methods emit
 // instruments in sorted-name order, so two registries fed the same updates
@@ -296,6 +339,12 @@ func (r *Registry) WriteText(w io.Writer) error {
 			if _, err := fmt.Fprintf(w, "%-40s %12d\n", row.name+".leInf", row.counts[len(row.bounds)]); err != nil {
 				return err
 			}
+			for _, pq := range percentileDump {
+				if _, err := fmt.Fprintf(w, "%-40s %12s\n", row.name+pq.suffix,
+					formatBound(percentileOf(row.bounds, row.counts, pq.q))); err != nil {
+					return err
+				}
+			}
 		default:
 			if _, err := fmt.Fprintf(w, "%-40s %12d\n", row.name, row.val); err != nil {
 				return err
@@ -305,12 +354,37 @@ func (r *Registry) WriteText(w io.Writer) error {
 	return nil
 }
 
+// percentileDump lists the quantile lines every histogram dump carries.
+var percentileDump = []struct {
+	suffix string
+	q      float64
+}{
+	{".p50", 0.50},
+	{".p95", 0.95},
+	{".p99", 0.99},
+}
+
 // WriteJSON dumps the registry as one sorted JSON object (encoding/json
 // sorts map keys, so the byte stream is canonical for a given state).
+// Scalar instruments and histogram bucket counts serialize as integers;
+// histograms additionally carry "<name>.p50/.p95/.p99" quantile entries,
+// which may be fractional bucket bounds.
 func (r *Registry) WriteJSON(w io.Writer) error {
+	out := map[string]any{}
+	for k, v := range r.Snapshot() { // key-slot copy: order-independent
+		out[k] = v
+	}
+	for _, row := range r.rows() {
+		if row.kind != "histogram" {
+			continue
+		}
+		for _, pq := range percentileDump {
+			out[row.name+pq.suffix] = percentileOf(row.bounds, row.counts, pq.q)
+		}
+	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(r.Snapshot())
+	return enc.Encode(out)
 }
 
 // formatBound renders a histogram bound compactly and deterministically

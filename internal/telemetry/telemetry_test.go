@@ -172,6 +172,98 @@ func TestConcurrentUpdatesDeterministicDump(t *testing.T) {
 	}
 }
 
+func TestHistogramPercentiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", 1, 2, 4, 8)
+	// 10 observations: 5 in le1, 3 in le2, 1 in le4, 1 overflow.
+	for i := 0; i < 5; i++ {
+		h.Observe(0.5)
+	}
+	for i := 0; i < 3; i++ {
+		h.Observe(1.5)
+	}
+	h.Observe(3)
+	h.Observe(100)
+	cases := []struct {
+		q    float64
+		want float64
+	}{
+		{0.50, 1}, // rank 5 lands exactly at the le1 cumulative count
+		{0.51, 2}, // one past it crosses into le2
+		{0.80, 2}, // rank 8 = cumulative of le2
+		{0.90, 4},
+		{0.95, 8}, // rank 10 is the overflow observation: clamp to last finite bound
+		{0.99, 8},
+		{1.00, 8},
+	}
+	for _, c := range cases {
+		if got := h.Percentile(c.q); got != c.want {
+			t.Errorf("Percentile(%.2f) = %g, want %g", c.q, got, c.want)
+		}
+	}
+
+	var nilH *Histogram
+	if nilH.Percentile(0.5) != 0 {
+		t.Errorf("nil histogram percentile must be 0")
+	}
+	if r.Histogram("empty", 1, 2).Percentile(0.5) != 0 {
+		t.Errorf("empty histogram percentile must be 0")
+	}
+}
+
+// The histogram quantile lines in both dump formats must be byte-identical
+// when the same multiset of observations arrives from 1, 2, or 8
+// goroutines — the percentile extension must not break the registry's
+// worker-count determinism.
+func TestHistogramPercentileDumpDeterministicAcrossWorkers(t *testing.T) {
+	const obs = 240 // divisible by every worker count
+	dump := func(workers int) (string, string) {
+		r := NewRegistry()
+		h := r.Histogram("u") // default ten 0.1 buckets over [0, 1]
+		var wg sync.WaitGroup
+		per := obs / workers
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for j := 0; j < per; j++ {
+					// Same global multiset for every split: values depend
+					// only on the global observation index.
+					i := w*per + j
+					h.Observe(float64(i%12) / 10) // includes overflow values 1.1
+				}
+			}(w)
+		}
+		wg.Wait()
+		var text, js bytes.Buffer
+		if err := r.WriteText(&text); err != nil {
+			t.Fatalf("WriteText: %v", err)
+		}
+		if err := r.WriteJSON(&js); err != nil {
+			t.Fatalf("WriteJSON: %v", err)
+		}
+		return text.String(), js.String()
+	}
+	text1, js1 := dump(1)
+	for _, pq := range []string{"u.p50", "u.p95", "u.p99"} {
+		if !bytes.Contains([]byte(text1), []byte(pq)) {
+			t.Fatalf("WriteText missing %s line:\n%s", pq, text1)
+		}
+		if !bytes.Contains([]byte(js1), []byte(pq)) {
+			t.Fatalf("WriteJSON missing %s entry:\n%s", pq, js1)
+		}
+	}
+	for _, w := range []int{2, 8} {
+		text, js := dump(w)
+		if text != text1 {
+			t.Fatalf("workers=%d: WriteText differs\n--- 1 ---\n%s\n--- %d ---\n%s", w, text1, w, text)
+		}
+		if js != js1 {
+			t.Fatalf("workers=%d: WriteJSON differs\n--- 1 ---\n%s\n--- %d ---\n%s", w, js1, w, js)
+		}
+	}
+}
+
 func TestWriteTextSorted(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("zeta").Add(1)

@@ -1,0 +1,70 @@
+package traceview
+
+import "fmt"
+
+// Trace assertions — the machine-checkable form of claims like "this
+// schedule hides at least 60% of communication behind compute". Because
+// the inputs are deterministic, an assertion that passes once passes
+// forever until the model genuinely changes, so these can gate CI without
+// tolerance bands (the substrate for the LayerPipe overlap proofs).
+
+// Assertions holds the enabled checks; negative values disable a check
+// (the flag defaults in cmd/mpttrace).
+type Assertions struct {
+	// MinOverlap requires Total.OverlapFrac ≥ this in every phase lane
+	// that has any communication.
+	MinOverlap float64
+	// MaxIdle caps Total.IdleShare in every phase lane.
+	MaxIdle float64
+	// MaxBoundRatio caps the achieved-vs-bound traffic ratio of every
+	// layer row that joined planner gauges.
+	MaxBoundRatio float64
+	// MaxCriticalCycles caps every phase lane's critical-path length.
+	MaxCriticalCycles int64
+}
+
+// Unset returns the all-disabled assertion set.
+func Unset() Assertions {
+	return Assertions{MinOverlap: -1, MaxIdle: -1, MaxBoundRatio: -1, MaxCriticalCycles: -1}
+}
+
+// Any reports whether at least one check is enabled.
+func (a Assertions) Any() bool {
+	return a.MinOverlap >= 0 || a.MaxIdle >= 0 || a.MaxBoundRatio >= 0 || a.MaxCriticalCycles >= 0
+}
+
+// Check evaluates the assertions against the report, returning one
+// message per violation (empty = all pass) in deterministic lane/row
+// order.
+func Check(r *Report, a Assertions) []string {
+	var fails []string
+	for i := range r.Lanes {
+		l := &r.Lanes[i]
+		if a.MinOverlap >= 0 && l.Total.CommCycles > 0 && l.Total.OverlapFrac < a.MinOverlap {
+			fails = append(fails, fmt.Sprintf(
+				"lane %s/%s: overlap %.4f < required %.4f (hidden %d of %d comm cycles)",
+				l.Process, l.Thread, l.Total.OverlapFrac, a.MinOverlap,
+				l.Total.HiddenCycles, l.Total.CommCycles))
+		}
+		if a.MaxIdle >= 0 && l.Total.IdleShare > a.MaxIdle {
+			fails = append(fails, fmt.Sprintf(
+				"lane %s/%s: idle share %.4f > allowed %.4f (%d idle cycles)",
+				l.Process, l.Thread, l.Total.IdleShare, a.MaxIdle, l.Total.IdleCycles))
+		}
+		if a.MaxCriticalCycles >= 0 && l.CriticalCycles > a.MaxCriticalCycles {
+			fails = append(fails, fmt.Sprintf(
+				"lane %s/%s: critical path %d cycles > allowed %d",
+				l.Process, l.Thread, l.CriticalCycles, a.MaxCriticalCycles))
+		}
+		if a.MaxBoundRatio >= 0 {
+			for _, row := range l.Rows {
+				if row.BoundBytes > 0 && row.BoundRatio > a.MaxBoundRatio {
+					fails = append(fails, fmt.Sprintf(
+						"lane %s/%s layer %s: achieved/bound bytes %.4f > allowed %.4f",
+						l.Process, l.Thread, row.Layer, row.BoundRatio, a.MaxBoundRatio))
+				}
+			}
+		}
+	}
+	return fails
+}

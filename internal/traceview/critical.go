@@ -1,0 +1,100 @@
+package traceview
+
+import "sort"
+
+// Critical-path reconstruction. Within a lane the simulator serializes
+// layer phases, so "a ends no later than b starts" is causal order at the
+// leaf-span level: the compute/tile children of one phase start together,
+// the collective child starts when the later of the two ends, and the next
+// phase's children start after the collective. The critical path is
+// therefore the longest chain of pairwise non-overlapping leaf spans —
+// computed by a deterministic longest-chain DP (ties broken by earlier
+// start, then emission order), so the same trace always yields the same
+// path.
+
+// criticalPath returns the longest dependency chain through the leaves:
+// total chained cycles and the chain in time order.
+func criticalPath(leaves []Span) (int64, []PathSpan) {
+	if len(leaves) == 0 {
+		return 0, nil
+	}
+	spans := append([]Span(nil), leaves...)
+	sort.SliceStable(spans, func(i, j int) bool {
+		if spans[i].End() != spans[j].End() {
+			return spans[i].End() < spans[j].End()
+		}
+		if spans[i].Start != spans[j].Start {
+			return spans[i].Start < spans[j].Start
+		}
+		return spans[i].idx < spans[j].idx
+	})
+
+	best := make([]int64, len(spans)) // best chain length ending at i
+	prev := make([]int, len(spans))   // predecessor index (-1 = chain start)
+	for i := range spans {
+		best[i] = spans[i].Dur
+		prev[i] = -1
+		for j := 0; j < i; j++ {
+			if spans[j].End() > spans[i].Start {
+				continue
+			}
+			if cand := best[j] + spans[i].Dur; cand > best[i] {
+				best[i] = cand
+				prev[i] = j
+			}
+		}
+	}
+
+	end := 0
+	for i := 1; i < len(spans); i++ {
+		if best[i] > best[end] {
+			end = i
+		}
+	}
+
+	var path []PathSpan
+	for i := end; i >= 0; i = prev[i] {
+		path = append(path, PathSpan{
+			Name: spans[i].Name, TV: spans[i].TV,
+			Start: spans[i].Start, Cycles: spans[i].Dur,
+		})
+		if prev[i] < 0 {
+			break
+		}
+	}
+	// Reverse into time order.
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return best[end], path
+}
+
+// contributors ranks the critical path's members by cycles, top-k, with a
+// deterministic (cycles desc, start asc, name asc) order.
+func contributors(path []PathSpan, total int64, k int) []Contributor {
+	if len(path) == 0 {
+		return nil
+	}
+	ranked := append([]PathSpan(nil), path...)
+	sort.SliceStable(ranked, func(i, j int) bool {
+		if ranked[i].Cycles != ranked[j].Cycles {
+			return ranked[i].Cycles > ranked[j].Cycles
+		}
+		if ranked[i].Start != ranked[j].Start {
+			return ranked[i].Start < ranked[j].Start
+		}
+		return ranked[i].Name < ranked[j].Name
+	})
+	if len(ranked) > k {
+		ranked = ranked[:k]
+	}
+	out := make([]Contributor, 0, len(ranked))
+	for _, p := range ranked {
+		c := Contributor{Name: p.Name, TV: p.TV, Cycles: p.Cycles}
+		if total > 0 {
+			c.Share = float64(p.Cycles) / float64(total)
+		}
+		out = append(out, c)
+	}
+	return out
+}

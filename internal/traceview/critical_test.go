@@ -1,0 +1,82 @@
+package traceview
+
+import (
+	"reflect"
+	"testing"
+)
+
+// The simulator's phase shape: compute and tile start together, the
+// collective follows the longer of the two, and the next phase follows the
+// collective. The critical path must walk the longer branch of each phase.
+func TestCriticalPathPhaseShape(t *testing.T) {
+	leaves := []Span{
+		// Phase 1: compute 100 vs tile 40, then coll 10.
+		{Name: "l1 compute", TV: "compute", Start: 0, Dur: 100, idx: 0},
+		{Name: "l1 tile", TV: "comm.tile", Start: 0, Dur: 40, idx: 1},
+		{Name: "l1 coll", TV: "comm.coll", Start: 100, Dur: 10, idx: 2},
+		// Phase 2: tile 80 dominates compute 30, then coll 5.
+		{Name: "l2 compute", TV: "compute", Start: 110, Dur: 30, idx: 3},
+		{Name: "l2 tile", TV: "comm.tile", Start: 110, Dur: 80, idx: 4},
+		{Name: "l2 coll", TV: "comm.coll", Start: 190, Dur: 5, idx: 5},
+	}
+	total, path := criticalPath(leaves)
+	if want := int64(100 + 10 + 80 + 5); total != want {
+		t.Fatalf("critical cycles = %d, want %d", total, want)
+	}
+	var names []string
+	for _, p := range path {
+		names = append(names, p.Name)
+	}
+	want := []string{"l1 compute", "l1 coll", "l2 tile", "l2 coll"}
+	if !reflect.DeepEqual(names, want) {
+		t.Fatalf("path = %v, want %v", names, want)
+	}
+}
+
+func TestCriticalPathEmptyAndSingle(t *testing.T) {
+	if total, path := criticalPath(nil); total != 0 || path != nil {
+		t.Fatalf("empty: got %d, %v", total, path)
+	}
+	total, path := criticalPath([]Span{{Name: "only", Start: 5, Dur: 7}})
+	if total != 7 || len(path) != 1 || path[0].Name != "only" {
+		t.Fatalf("single: got %d, %v", total, path)
+	}
+}
+
+// Ties must break deterministically: two equal-length chains resolve by
+// the stable sort (earlier start, then emission index), so repeated runs
+// pick the same chain.
+func TestCriticalPathDeterministicTies(t *testing.T) {
+	leaves := []Span{
+		{Name: "a", Start: 0, Dur: 50, idx: 0},
+		{Name: "b", Start: 0, Dur: 50, idx: 1}, // same window as a
+		{Name: "c", Start: 50, Dur: 50, idx: 2},
+	}
+	for trial := 0; trial < 10; trial++ {
+		total, path := criticalPath(leaves)
+		if total != 100 {
+			t.Fatalf("total = %d, want 100", total)
+		}
+		if path[0].Name != "a" || path[1].Name != "c" {
+			t.Fatalf("trial %d: tie broke to %s,%s (want a,c)", trial, path[0].Name, path[1].Name)
+		}
+	}
+}
+
+func TestContributorsRankAndTopK(t *testing.T) {
+	path := []PathSpan{
+		{Name: "small", TV: "compute", Start: 0, Cycles: 10},
+		{Name: "big", TV: "comm.tile", Start: 10, Cycles: 70},
+		{Name: "mid", TV: "compute", Start: 80, Cycles: 20},
+	}
+	got := contributors(path, 100, 2)
+	if len(got) != 2 || got[0].Name != "big" || got[1].Name != "mid" {
+		t.Fatalf("contributors = %+v", got)
+	}
+	if got[0].Share != 0.7 || got[1].Share != 0.2 {
+		t.Fatalf("shares = %v, %v", got[0].Share, got[1].Share)
+	}
+	if contributors(nil, 100, 3) != nil {
+		t.Fatalf("empty path must yield nil contributors")
+	}
+}

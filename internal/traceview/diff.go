@@ -1,0 +1,151 @@
+package traceview
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Model-time regression diffing. Because every metric here derives from
+// cycle-domain deterministic traces, two runs of the same configuration
+// are bit-identical — so unlike wall-clock benchmarks the gate can be
+// exact: the default thresholds are zero and any model-time increase is a
+// regression (benchdiff's strict model-metric policy, applied to traces).
+
+// DiffOptions sets the regression thresholds.
+type DiffOptions struct {
+	// MaxDeltaCycles is the allowed absolute increase per metric.
+	MaxDeltaCycles int64
+	// MaxDeltaFrac is the allowed relative increase per metric (0.02 =
+	// +2%). The effective slack is max(MaxDeltaCycles, A·MaxDeltaFrac).
+	MaxDeltaFrac float64
+	// Exact fails on ANY difference, improvements included — the CI
+	// golden-gate mode (a changed model is a changed model; regenerate
+	// the golden deliberately).
+	Exact bool
+}
+
+// DiffRow is one metric's before/after pair.
+type DiffRow struct {
+	Key    string
+	A, B   int64
+	OkA    bool // key present in run A
+	OkB    bool // key present in run B
+	Delta  int64
+	Frac   float64 // Delta/A (0 when A == 0)
+	Regres bool
+}
+
+// DiffReport is the full delta table.
+type DiffReport struct {
+	Rows        []DiffRow
+	Regressions int
+	Identical   bool
+}
+
+// laneMetrics flattens one lane report into metric rows. The key space is
+// "lane <process>/<thread> | <layer> | <metric>".
+func laneMetrics(out map[string]int64, l *LaneReport) {
+	prefix := "lane " + l.Process + "/" + l.Thread + " | "
+	rows := append([]LayerRow(nil), l.Rows...)
+	rows = append(rows, l.Total)
+	for _, r := range rows {
+		p := prefix + r.Layer + " | "
+		out[p+"wall_cycles"] = r.WallCycles
+		out[p+"compute_cycles"] = r.ComputeCycles
+		out[p+"comm_cycles"] = r.CommCycles
+		out[p+"tile_cycles"] = r.TileCycles
+		out[p+"coll_cycles"] = r.CollCycles
+		out[p+"hidden_cycles"] = r.HiddenCycles
+		out[p+"idle_cycles"] = r.IdleCycles
+	}
+	out[prefix+"critical | critical_cycles"] = l.CriticalCycles
+}
+
+// flatten reduces a report to the diffable metric map.
+func flatten(r *Report) map[string]int64 {
+	out := map[string]int64{}
+	for i := range r.Lanes {
+		laneMetrics(out, &r.Lanes[i])
+	}
+	for _, p := range r.Processes {
+		prefix := fmt.Sprintf("process %s | ", p.Process)
+		out[prefix+"busy_cycles"] = p.BusyCycles
+		out[prefix+"spans"] = int64(p.Spans)
+		for _, c := range p.Categories {
+			out[prefix+c.TV+" | cycles"] = c.Cycles
+		}
+	}
+	return out
+}
+
+// Diff compares two reports metric by metric.
+func Diff(a, b *Report, opt DiffOptions) *DiffReport {
+	ma, mb := flatten(a), flatten(b)
+	keys := make([]string, 0, len(ma)+len(mb))
+	for k := range ma {
+		keys = append(keys, k)
+	}
+	for k := range mb {
+		if _, ok := ma[k]; !ok {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+
+	rep := &DiffReport{Identical: true}
+	for _, k := range keys {
+		va, okA := ma[k]
+		vb, okB := mb[k]
+		row := DiffRow{Key: k, A: va, B: vb, OkA: okA, OkB: okB, Delta: vb - va}
+		if va != 0 {
+			row.Frac = float64(row.Delta) / float64(va)
+		}
+		switch {
+		case !okA || !okB:
+			// A metric present on one side only is a structural change:
+			// always a regression (the golden must be regenerated).
+			row.Regres = true
+		case opt.Exact:
+			row.Regres = row.Delta != 0
+		case row.Delta > 0:
+			slack := opt.MaxDeltaCycles
+			if rel := int64(float64(va) * opt.MaxDeltaFrac); rel > slack {
+				slack = rel
+			}
+			row.Regres = row.Delta > slack
+		}
+		if row.Delta != 0 || !okA || !okB {
+			rep.Identical = false
+		}
+		if row.Regres {
+			rep.Regressions++
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+	return rep
+}
+
+// WriteText renders the delta table: every metric, before/after/delta,
+// with regressions flagged — all-zero for identical runs.
+func (d *DiffReport) WriteText(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# mpttrace diff\tmetrics=%d\tregressions=%d\tidentical=%v\n",
+		len(d.Rows), d.Regressions, d.Identical)
+	fmt.Fprintf(bw, "%-72s %14s %14s %12s %9s\n", "metric", "a", "b", "delta", "delta%")
+	for _, r := range d.Rows {
+		flag := ""
+		switch {
+		case !r.OkA:
+			flag = "ONLY-IN-B"
+		case !r.OkB:
+			flag = "ONLY-IN-A"
+		case r.Regres:
+			flag = "REGRESSION"
+		}
+		fmt.Fprintf(bw, "%-72s %14d %14d %+12d %8.2f%% %s\n",
+			r.Key, r.A, r.B, r.Delta, 100*r.Frac, flag)
+	}
+	return bw.Flush()
+}

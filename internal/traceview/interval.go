@@ -1,0 +1,82 @@
+package traceview
+
+import "sort"
+
+// Interval algebra over half-open cycle ranges [s, e). The attribution
+// engine reduces categorized child spans to normalized interval sets and
+// answers busy/hidden/idle questions with unions and intersections — the
+// definitions stay exact however future instrumentation overlaps spans
+// (LayerPipe-style pipelining included).
+
+type interval struct{ s, e int64 }
+
+// normalize sorts and merges overlapping or touching intervals, dropping
+// empty ones. The result is the canonical form of the set.
+func normalize(iv []interval) []interval {
+	out := make([]interval, 0, len(iv))
+	for _, v := range iv {
+		if v.e > v.s {
+			out = append(out, v)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].s != out[j].s {
+			return out[i].s < out[j].s
+		}
+		return out[i].e < out[j].e
+	})
+	merged := out[:0]
+	for _, v := range out {
+		if n := len(merged); n > 0 && v.s <= merged[n-1].e {
+			if v.e > merged[n-1].e {
+				merged[n-1].e = v.e
+			}
+			continue
+		}
+		merged = append(merged, v)
+	}
+	return merged
+}
+
+// length sums a normalized set's measure.
+func length(iv []interval) int64 {
+	var t int64
+	for _, v := range iv {
+		t += v.e - v.s
+	}
+	return t
+}
+
+// intersect returns the normalized intersection of two normalized sets.
+func intersect(a, b []interval) []interval {
+	var out []interval
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		s := a[i].s
+		if b[j].s > s {
+			s = b[j].s
+		}
+		e := a[i].e
+		if b[j].e < e {
+			e = b[j].e
+		}
+		if e > s {
+			out = append(out, interval{s, e})
+		}
+		if a[i].e < b[j].e {
+			i++
+		} else {
+			j++
+		}
+	}
+	return out
+}
+
+// spansToSet collects the given spans into a normalized interval set.
+func spansToSet(spans []Span) []interval {
+	iv := make([]interval, 0, len(spans))
+	for _, s := range spans {
+		iv = append(iv, interval{s.Start, s.End()})
+	}
+	return normalize(iv)
+}

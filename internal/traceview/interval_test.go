@@ -1,0 +1,80 @@
+package traceview
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestNormalize(t *testing.T) {
+	cases := []struct {
+		name string
+		in   []interval
+		want []interval
+	}{
+		{"empty", nil, []interval{}},
+		{"drops empty and inverted", []interval{{5, 5}, {7, 3}}, []interval{}},
+		{"sorts", []interval{{10, 20}, {0, 5}}, []interval{{0, 5}, {10, 20}}},
+		{"merges overlap", []interval{{0, 10}, {5, 15}}, []interval{{0, 15}}},
+		{"merges touching", []interval{{0, 10}, {10, 20}}, []interval{{0, 20}}},
+		{"keeps gaps", []interval{{0, 10}, {12, 20}}, []interval{{0, 10}, {12, 20}}},
+		{"contained", []interval{{0, 100}, {20, 30}}, []interval{{0, 100}}},
+	}
+	for _, c := range cases {
+		got := normalize(append([]interval(nil), c.in...))
+		if len(got) == 0 && len(c.want) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("%s: normalize(%v) = %v, want %v", c.name, c.in, got, c.want)
+		}
+	}
+}
+
+func TestLength(t *testing.T) {
+	if got := length(nil); got != 0 {
+		t.Errorf("length(nil) = %d, want 0", got)
+	}
+	if got := length([]interval{{0, 10}, {20, 25}}); got != 15 {
+		t.Errorf("length = %d, want 15", got)
+	}
+}
+
+func TestIntersect(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b []interval
+		want []interval
+	}{
+		{"disjoint", []interval{{0, 10}}, []interval{{20, 30}}, nil},
+		{"touching is empty", []interval{{0, 10}}, []interval{{10, 20}}, nil},
+		{"overlap", []interval{{0, 10}}, []interval{{5, 15}}, []interval{{5, 10}}},
+		{"contained", []interval{{0, 100}}, []interval{{20, 30}, {40, 50}}, []interval{{20, 30}, {40, 50}}},
+		{"multi sweep",
+			[]interval{{0, 10}, {20, 30}, {40, 50}},
+			[]interval{{5, 25}, {45, 60}},
+			[]interval{{5, 10}, {20, 25}, {45, 50}}},
+	}
+	for _, c := range cases {
+		got := intersect(c.a, c.b)
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("%s: intersect(%v, %v) = %v, want %v", c.name, c.a, c.b, got, c.want)
+		}
+		// Intersection is symmetric.
+		if rev := intersect(c.b, c.a); !reflect.DeepEqual(rev, got) {
+			t.Errorf("%s: intersect not symmetric: %v vs %v", c.name, got, rev)
+		}
+	}
+}
+
+func TestSpansToSet(t *testing.T) {
+	spans := []Span{
+		{Start: 10, Dur: 5},
+		{Start: 0, Dur: 12}, // overlaps the first
+		{Start: 30, Dur: 0}, // empty: dropped
+	}
+	got := spansToSet(spans)
+	want := []interval{{0, 15}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("spansToSet = %v, want %v", got, want)
+	}
+}

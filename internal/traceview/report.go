@@ -1,0 +1,63 @@
+package traceview
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Text and JSON renderers. Both are canonical: fixed column widths, fixed
+// float precision, struct-ordered JSON — so reports from deterministic
+// traces are byte-identical across runs, host worker counts and machines,
+// and the committed goldens (internal/traceview/testdata) diff exactly.
+
+// WriteText renders the report as the aligned console/golden format.
+func (r *Report) WriteText(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# mpttrace attribution report\tlanes=%d\tprocesses=%d\n", len(r.Lanes), len(r.Processes))
+	for i := range r.Lanes {
+		writeLaneText(bw, &r.Lanes[i])
+	}
+	for _, p := range r.Processes {
+		fmt.Fprintf(bw, "\n== process %s (pid %d): lanes=%d spans=%d instants=%d busy_cycles=%d\n",
+			p.Process, p.PID, p.Lanes, p.Spans, p.Instants, p.BusyCycles)
+		for _, c := range p.Categories {
+			fmt.Fprintf(bw, "   %-12s %8d spans %14d cycles\n", c.TV, c.Spans, c.Cycles)
+		}
+	}
+	return bw.Flush()
+}
+
+func writeLaneText(bw *bufio.Writer, l *LaneReport) {
+	fmt.Fprintf(bw, "\n== lane %s/%s (pid %d tid %d)\n", l.Process, l.Thread, l.PID, l.TID)
+	fmt.Fprintf(bw, "%-12s %12s %12s %12s %12s %10s %9s %9s %7s %7s %10s\n",
+		"layer", "wall_cyc", "compute_cyc", "comm_cyc", "hidden_cyc", "idle_cyc",
+		"overlap%", "compute%", "comm%", "idle%", "ach/bound")
+	rows := append([]LayerRow(nil), l.Rows...)
+	rows = append(rows, l.Total)
+	for _, row := range rows {
+		ratio := "-"
+		if row.BoundBytes > 0 {
+			ratio = fmt.Sprintf("%.4f", row.BoundRatio)
+		}
+		fmt.Fprintf(bw, "%-12s %12d %12d %12d %12d %10d %9.2f %9.2f %7.2f %7.2f %10s\n",
+			row.Layer, row.WallCycles, row.ComputeCycles, row.CommCycles,
+			row.HiddenCycles, row.IdleCycles,
+			100*row.OverlapFrac, 100*row.ComputeShare, 100*row.CommShare, 100*row.IdleShare,
+			ratio)
+	}
+	fmt.Fprintf(bw, "critical path: %d cycles over %d spans\n", l.CriticalCycles, len(l.Critical))
+	for i, c := range l.Contributors {
+		fmt.Fprintf(bw, "  #%d %-28s %-10s %14d cycles %6.2f%%\n",
+			i+1, c.Name, c.TV, c.Cycles, 100*c.Share)
+	}
+}
+
+// WriteJSON renders the report as indented canonical JSON (struct field
+// order, no maps).
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(r)
+}
